@@ -1,0 +1,137 @@
+// Package repro's root benchmark harness: one benchmark per paper table
+// and figure, each regenerating its result end to end (corpus generation,
+// reordering, cache simulation, reporting) on a small, structurally
+// diverse corpus slice. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-corpus reproduction is cmd/experiments; these benchmarks keep
+// the per-experiment pipelines exercised and timed.
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/kernels"
+	"repro/internal/reorder"
+	"repro/internal/trace"
+)
+
+// benchSubset is the corpus slice used by the per-figure benchmarks: one
+// high-insularity matrix, one mesh, one hub-heavy web graph, and one
+// unstructured control.
+var benchSubset = []string{"soc-tight-2", "cfd-2d-5pt", "pld-arc-like", "er-deg16"}
+
+func benchRunner(names ...string) *experiments.Runner {
+	cfg := experiments.SmallConfig()
+	if names == nil {
+		names = benchSubset
+	}
+	cfg.Matrices = names
+	return experiments.NewRunner(cfg)
+}
+
+// benchExperiment regenerates one registered experiment per iteration,
+// including all of its matrix generation, reordering, and simulation work.
+func benchExperiment(b *testing.B, id string, names ...string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(names...)
+		tb, err := e.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIDeviceSpec(b *testing.B)  { benchExperiment(b, "device") }
+func BenchmarkFig2Traffic(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3Insularity(b *testing.B)    { benchExperiment(b, "fig3") }
+func BenchmarkCorrelations(b *testing.B)      { benchExperiment(b, "corr") }
+func BenchmarkFig4InsularNodes(b *testing.B)  { benchExperiment(b, "fig4") }
+func BenchmarkFig6InsularSubmat(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkTableIIDesignSpace(b *testing.B) {
+	benchExperiment(b, "table2")
+}
+func BenchmarkFig7TrafficReduction(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkTableIIIDeadLines(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkFig8BeladyHeadroom(b *testing.B) {
+	benchExperiment(b, "fig8", "soc-tight-2", "pld-arc-like")
+}
+func BenchmarkFig9ReorderingCost(b *testing.B) {
+	benchExperiment(b, "fig9", "soc-tight-2")
+}
+func BenchmarkTableIVOtherKernels(b *testing.B) {
+	benchExperiment(b, "table4", "soc-tight-2", "pld-arc-like")
+}
+
+// --- Component micro-benchmarks ---
+
+var benchMat = gen.PlantedPartition{Nodes: 16384, Communities: 128, AvgDegree: 16, Mu: 0.2}.Generate(1)
+
+func BenchmarkRabbitOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = reorder.Rabbit{}.Order(benchMat)
+	}
+}
+
+func BenchmarkRabbitPPOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = reorder.RabbitPP{}.Order(benchMat)
+	}
+}
+
+func BenchmarkGorderOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = reorder.Gorder{Window: 5}.Order(benchMat)
+	}
+}
+
+func BenchmarkDBGOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = reorder.DBG{}.Order(benchMat)
+	}
+}
+
+func BenchmarkSpMVKernel(b *testing.B) {
+	x := make([]float32, benchMat.NumCols)
+	y := make([]float32, benchMat.NumRows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(benchMat.NNZ() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := kernels.SpMVCSR(benchMat, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLRUSimulation(b *testing.B) {
+	d := gpumodel.SimDeviceSmall()
+	for i := 0; i < b.N; i++ {
+		_ = cachesim.SimulateLRU(d.L2, trace.SpMVCSR(benchMat, d.L2.LineBytes))
+	}
+}
+
+func BenchmarkBeladySimulation(b *testing.B) {
+	d := gpumodel.SimDeviceSmall()
+	recorded := cachesim.RecordTrace(trace.SpMVCSR(benchMat, d.L2.LineBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cachesim.SimulateBelady(d.L2, recorded)
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into the test's temp dir once.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the full toolchain end to end: generate a corpus
+// matrix, reorder it, verify the kernel on the reordered file, and
+// simulate its cache behaviour.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	mtxgen := buildTool(t, dir, "mtxgen")
+	reorderBin := buildTool(t, dir, "reorder")
+	spmv := buildTool(t, dir, "spmv")
+	cachesimBin := buildTool(t, dir, "cachesim")
+
+	out := runTool(t, mtxgen, "-out", dir, "-matrices", "soc-tight-2")
+	if !strings.Contains(out, "soc-tight-2") {
+		t.Fatalf("mtxgen output: %s", out)
+	}
+	mtx := filepath.Join(dir, "soc-tight-2.mtx")
+	if _, err := os.Stat(mtx); err != nil {
+		t.Fatal(err)
+	}
+
+	reordered := filepath.Join(dir, "reordered.mtx")
+	permFile := filepath.Join(dir, "perm.txt")
+	out = runTool(t, reorderBin, "-in", mtx, "-out", reordered, "-technique", "RABBIT++", "-perm", permFile, "-stats")
+	if !strings.Contains(out, "RABBIT++") || !strings.Contains(out, "insularity=") {
+		t.Fatalf("reorder output: %s", out)
+	}
+	if _, err := os.Stat(permFile); err != nil {
+		t.Fatal(err)
+	}
+
+	out = runTool(t, spmv, "-in", reordered, "-iters", "2")
+	if !strings.Contains(out, "verified: max abs error") {
+		t.Fatalf("spmv output: %s", out)
+	}
+
+	out = runTool(t, cachesimBin, "-in", mtx, "-l2", "32768", "-techniques", "RANDOM,RABBIT++")
+	if !strings.Contains(out, "RABBIT++") || !strings.Contains(out, "traffic") {
+		t.Fatalf("cachesim output: %s", out)
+	}
+}
+
+// TestCLIExperiments runs the experiments binary on a tiny subset.
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "experiments")
+
+	out := runTool(t, bin, "-list")
+	for _, want := range []string{"fig2", "table2", "abl-policy", "mawi-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runTool(t, bin, "-corpus", "small", "-matrices", "er-deg16", "-run", "device,fig2")
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "er-deg16") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+
+	// CSV mode emits a parseable header row.
+	out = runTool(t, bin, "-corpus", "small", "-matrices", "er-deg16", "-run", "device", "-csv")
+	if !strings.Contains(out, "spec,") {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+// TestCLIErrors checks the tools fail cleanly on bad input.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	reorderBin := buildTool(t, dir, "reorder")
+	if err := exec.Command(reorderBin, "-in", "/no/such.mtx", "-out", "/tmp/x.mtx").Run(); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := exec.Command(reorderBin).Run(); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	bad := filepath.Join(dir, "bad.mtx")
+	if err := os.WriteFile(bad, []byte("not a matrix\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(reorderBin, "-in", bad, "-out", filepath.Join(dir, "o.mtx")).Run(); err == nil {
+		t.Fatal("garbage matrix accepted")
+	}
+}

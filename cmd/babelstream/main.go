@@ -1,0 +1,31 @@
+// Command babelstream measures the host's achievable memory bandwidth with
+// the four classic STREAM kernels, the same methodology the paper uses
+// (via BabelStream) to establish the A6000's 672 GB/s achievable bandwidth
+// that ideal run times divide by (Section IV-B).
+//
+// Usage:
+//
+//	babelstream [-elems 67108864] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/kernels"
+)
+
+func main() {
+	var (
+		elems = flag.Int("elems", 64<<20, "elements per array (float32)")
+		reps  = flag.Int("reps", 3, "repetitions per kernel (best is reported)")
+	)
+	flag.Parse()
+	fmt.Printf("arrays: 3 x %d MB, %d reps\n", *elems*4>>20, *reps)
+	r := kernels.MeasureStreamBandwidth(*elems, *reps)
+	fmt.Printf("copy : %7.2f GB/s\n", r.CopyGBs)
+	fmt.Printf("mul  : %7.2f GB/s\n", r.MulGBs)
+	fmt.Printf("add  : %7.2f GB/s\n", r.AddGBs)
+	fmt.Printf("triad: %7.2f GB/s\n", r.TriadGBs)
+	fmt.Printf("best : %7.2f GB/s (the paper's A6000 measures 672 of 768 GB/s peak)\n", r.Best())
+}

@@ -1,0 +1,112 @@
+// Command cachesim reports the simulated L2 behaviour of a kernel over a
+// MatrixMarket matrix under one or more reordering techniques.
+//
+// Usage:
+//
+//	cachesim -in a.mtx [-techniques RANDOM,RABBIT,RABBIT++] [-kernel spmv-csr]
+//	         [-l2 262144] [-line 128] [-ways 16] [-belady]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cachesim"
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+	"repro/internal/report"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in     = flag.String("in", "", "input MatrixMarket file (required)")
+		techs  = flag.String("techniques", "ORIGINAL,RANDOM,RABBIT,RABBIT++", "comma-separated techniques")
+		kernel = flag.String("kernel", "spmv-csr", "kernel: spmv-csr, spmv-coo, spmm-4, spmm-256")
+		l2     = flag.Int64("l2", 256<<10, "L2 capacity in bytes")
+		line   = flag.Int64("line", 128, "cache line size in bytes")
+		ways   = flag.Int("ways", 16, "associativity")
+		belady = flag.Bool("belady", false, "also simulate Belady-optimal replacement")
+	)
+	flag.Parse()
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	var k gpumodel.Kernel
+	switch *kernel {
+	case "spmv-csr":
+		k = gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
+	case "spmv-coo":
+		k = gpumodel.Kernel{Kind: gpumodel.SpMVCOO}
+	case "spmm-4":
+		k = gpumodel.Kernel{Kind: gpumodel.SpMMCSR, K: 4}
+	case "spmm-256":
+		k = gpumodel.Kernel{Kind: gpumodel.SpMMCSR, K: 256}
+	default:
+		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	cfg := cachesim.Config{CapacityBytes: *l2, LineBytes: *line, Ways: int32(*ways)}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	m, err := sparse.ReadMatrixMarket(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		return err
+	}
+	n, nnz := int64(m.NumRows), int64(m.NNZ())
+
+	cols := []string{"technique", "traffic", "hit-rate", "dead-lines"}
+	if *belady {
+		cols = append(cols, "belady-traffic")
+	}
+	tb := report.New(fmt.Sprintf("%s on %s (%d rows, %d nnz), L2 %dKB", k.String(), *in, n, nnz, *l2>>10), cols...)
+
+	traceFor := func(pm *sparse.CSR) func(func(int64)) {
+		switch k.Kind {
+		case gpumodel.SpMVCOO:
+			return trace.SpMVCOO(sparse.CSRToCOO(pm), *line)
+		case gpumodel.SpMMCSR:
+			return trace.SpMMCSR(pm, k.K, *line)
+		default:
+			return trace.SpMVCSR(pm, *line)
+		}
+	}
+	for _, name := range strings.Split(*techs, ",") {
+		t, err := reorder.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		pm := m.PermuteSymmetric(t.Order(m))
+		s := cachesim.SimulateLRU(cfg, traceFor(pm))
+		row := []string{
+			t.Name(),
+			report.X(gpumodel.NormalizedTraffic(s, k, n, nnz)),
+			report.Pct(s.HitRate()),
+			report.Pct(s.DeadLineFraction()),
+		}
+		if *belady {
+			bs := cachesim.SimulateBelady(cfg, cachesim.RecordTrace(traceFor(pm)))
+			row = append(row, report.X(gpumodel.NormalizedTraffic(bs, k, n, nnz)))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("traffic is normalized to the kernel's analytic compulsory traffic")
+	return tb.Render(os.Stdout)
+}

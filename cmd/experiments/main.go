@@ -1,0 +1,124 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-corpus small|full] [-matrices a,b,c] [-csv] [-v]
+//
+// Run "experiments -list" for the experiment inventory. With no -run flag
+// every experiment runs, sharing one corpus and its cached intermediate
+// results (RABBIT detections, permutations, cache simulations).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runIDs   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		corpus   = flag.String("corpus", "full", "corpus preset: small or full")
+		matrices = flag.String("matrices", "", "comma-separated corpus subset (default: all 50)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		ablate   = flag.Bool("ablations", false, "run the ablation suite instead of the paper experiments")
+		outdir   = flag.String("outdir", "", "also write each result as <outdir>/<id>.csv")
+		verbose  = flag.Bool("v", false, "log per-matrix progress to stderr")
+		list     = flag.Bool("list", false, "list experiments and corpus matrices, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)
+		}
+		fmt.Println("ablations (beyond the paper; run with -run or -ablations):")
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Paper)
+		}
+		fmt.Println("corpus matrices:")
+		for _, e := range gen.Corpus() {
+			fmt.Printf("  %-24s %-14s %s\n", e.Name, e.Family, e.Source)
+		}
+		return nil
+	}
+
+	cfg := experiments.FullConfig()
+	switch *corpus {
+	case "full":
+	case "small":
+		cfg = experiments.SmallConfig()
+	default:
+		return fmt.Errorf("unknown corpus %q (want small or full)", *corpus)
+	}
+	if *matrices != "" {
+		cfg.Matrices = strings.Split(*matrices, ",")
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	runner := experiments.NewRunner(cfg)
+
+	fmt.Printf("# corpus=%s device=%q matrices=%d\n", cfg.Preset, cfg.Device.Name, len(runner.Entries()))
+	_ = gpumodel.A6000() // keep the real spec linked for -list users reading the source
+
+	render := func(tb interface {
+		Render(io.Writer) error
+		RenderCSV(io.Writer) error
+	}) error {
+		if *csv {
+			return tb.RenderCSV(os.Stdout)
+		}
+		return tb.Render(os.Stdout)
+	}
+
+	if *runIDs == "" {
+		if *csv {
+			return fmt.Errorf("-csv requires -run with explicit ids")
+		}
+		set := experiments.Registry()
+		runAll := experiments.RunAll
+		if *ablate {
+			set = experiments.Ablations()
+			runAll = experiments.RunAblations
+		}
+		if err := runAll(runner, os.Stdout); err != nil {
+			return err
+		}
+		if *outdir != "" {
+			// Results are cached in the runner, so the export re-renders
+			// without re-simulating.
+			return experiments.Export(set, runner, *outdir)
+		}
+		return nil
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n# %s [%s]\n", e.Paper, e.ID)
+		tb, err := e.Run(runner)
+		if err != nil {
+			return err
+		}
+		if err := render(tb); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Community-analysis: reproduce the paper's Section V methodology on a
+// handful of structurally different matrices — measure RABBIT's community
+// quality (insularity, modularity, community sizes, insular nodes, degree
+// skew) and show how those metrics predict reordering effectiveness,
+// including the mawi anomaly where high insularity is meaningless because
+// one community swallows the matrix.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+	"repro/internal/report"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	device := gpumodel.SimDeviceSmall()
+	kernel := gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
+
+	cases := []struct {
+		name string
+		gen  gen.Generator
+		seed uint64
+	}{
+		{"tight-communities", gen.PlantedPartition{Nodes: 16384, Communities: 128, AvgDegree: 16, Mu: 0.05}, 1},
+		{"loose-communities", gen.PlantedPartition{Nodes: 16384, Communities: 128, AvgDegree: 16, Mu: 0.45}, 2},
+		{"power-law", gen.RMAT{LogNodes: 14, AvgDegree: 16, A: 0.57, B: 0.19, C: 0.19, Symmetric: true}, 3},
+		{"mesh", gen.Mesh2D{Width: 128, Height: 128}, 4},
+		{"mawi-like-star", gen.HubStar{Nodes: 16384, Hubs: 1, HubConn: 0.9, Background: 256}, 5},
+		{"pref-attach", gen.BarabasiAlbert{Nodes: 16384, M: 8}, 6},
+		{"forest-fire", gen.ForestFire{Nodes: 16384, BurnProb: 0.35}, 7},
+	}
+
+	tb := report.New("RABBIT community quality vs achieved locality (Section V)",
+		"matrix", "insularity", "modularity", "insular-nodes", "skew",
+		"largest-comm", "avg-comm/N", "traffic/ideal")
+	for _, c := range cases {
+		m := c.gen.Generate(c.seed)
+		rr := core.Rabbit(m)
+		cs := core.Analyze(m, rr.Communities)
+		pm := m.PermuteSymmetric(rr.Perm)
+		s := cachesim.SimulateLRU(device.L2, trace.SpMVCSR(pm, device.L2.LineBytes))
+		nt := gpumodel.NormalizedTraffic(s, kernel, int64(m.NumRows), int64(m.NNZ()))
+		tb.Add(c.name,
+			report.F(cs.Insularity), report.F(cs.Modularity),
+			report.Pct(cs.InsularNodeFraction), report.Pct(cs.Skew),
+			report.Pct(cs.LargestCommunityFraction), report.F(cs.AvgCommunitySizeNorm),
+			report.X(nt))
+	}
+	tb.Note("high insularity with small communities -> near-ideal traffic")
+	tb.Note("mawi anomaly: insularity is high but one community holds nearly the whole matrix, so traffic stays poor")
+	tb.Note("power-law skew depresses insularity (the paper's Pearson -0.72 link)")
+	if err := tb.Render(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	// The RABBIT++ fix on the skewed case: insular grouping + hub grouping.
+	m := cases[2].gen.Generate(cases[2].seed)
+	fmt.Printf("\npower-law case, RABBIT vs RABBIT++ traffic: %.2fx -> %.2fx\n",
+		normTraffic(device, kernel, m, reorder.Rabbit{}),
+		normTraffic(device, kernel, m, reorder.RabbitPP{}))
+}
+
+func normTraffic(d gpumodel.Device, k gpumodel.Kernel, m *sparse.CSR, t reorder.Technique) float64 {
+	pm := m.PermuteSymmetric(t.Order(m))
+	s := cachesim.SimulateLRU(d.L2, trace.SpMVCSR(pm, d.L2.LineBytes))
+	return gpumodel.NormalizedTraffic(s, k, int64(m.NumRows), int64(m.NNZ()))
+}

@@ -1,0 +1,132 @@
+// Pagerank: matrix reordering is a pre-processing optimization, so its
+// cost amortizes across every later iteration — the Section VI-C argument.
+// PageRank's power iteration is SpMV in a loop, which makes it the perfect
+// demonstration: this example runs PageRank on a web-crawl-like graph in
+// ORIGINAL and RABBIT++ order, checks that both converge to the same
+// ranking, and reports the per-iteration simulated DRAM traffic plus how
+// many iterations the reordering needs to pay for itself.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/kernels"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+const (
+	damping   = 0.85
+	tolerance = 1e-6
+	maxIters  = 100
+)
+
+// pagerank runs power iteration on the column-stochastic transition matrix
+// derived from adjacency matrix m, returning the rank vector and the
+// iteration count.
+func pagerank(m *sparse.CSR) ([]float32, int) {
+	n := m.NumRows
+	// Build P^T in CSR so rank updates are SpMV: new = d*P^T*old + (1-d)/n.
+	// P[j][i] = 1/outdeg(j) for each edge j->i; P^T rows are in-edges.
+	outDeg := m.Degrees()
+	tr := m.Transpose()
+	pt := tr.Clone()
+	for r := int32(0); r < pt.NumRows; r++ {
+		cols, vals := pt.Row(r)
+		for k, c := range cols {
+			vals[k] = 1 / float32(outDeg[c])
+		}
+	}
+	rank := make([]float32, n)
+	next := make([]float32, n)
+	for i := range rank {
+		rank[i] = 1 / float32(n)
+	}
+	base := (1 - float32(damping)) / float32(n)
+	for iter := 1; iter <= maxIters; iter++ {
+		if err := kernels.SpMVCSR(pt, rank, next); err != nil {
+			panic(err)
+		}
+		var delta float64
+		for i := range next {
+			next[i] = base + damping*next[i]
+			delta += math.Abs(float64(next[i] - rank[i]))
+		}
+		rank, next = next, rank
+		if delta < tolerance {
+			return rank, iter
+		}
+	}
+	return rank, maxIters
+}
+
+func main() {
+	m := gen.HubbyCommunities{
+		Nodes: 32768, Communities: 128, AvgDegree: 12, Mu: 0.25, Hubs: 256, HubDegree: 64,
+	}.Generate(11)
+	device := gpumodel.SimDeviceSmall()
+	kernel := gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
+	n, nnz := int64(m.NumRows), int64(m.NNZ())
+	fmt.Printf("graph: %d nodes, %d edges\n\n", n, nnz)
+
+	// Reorder once; run PageRank in both orders.
+	start := time.Now()
+	p := reorder.RabbitPP{}.Order(m)
+	reorderTime := time.Since(start)
+	pm := m.PermuteSymmetric(p)
+
+	origRank, origIters := pagerank(m)
+	reordRank, reordIters := pagerank(pm)
+
+	// Same ranking? Compare the top-10 nodes (mapped back to old IDs).
+	inv := p.Inverse()
+	top := func(rank []float32, mapBack bool) []int32 {
+		ids := make([]int32, len(rank))
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		sort.SliceStable(ids, func(a, b int) bool { return rank[ids[a]] > rank[ids[b]] })
+		out := ids[:10]
+		if mapBack {
+			mapped := make([]int32, 10)
+			for i, v := range out {
+				mapped[i] = inv[v]
+			}
+			return mapped
+		}
+		return out
+	}
+	a, b := top(origRank, false), top(reordRank, true)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	fmt.Printf("converged in %d (original) vs %d (reordered) iterations; top-10 ranking identical: %v\n",
+		origIters, reordIters, same)
+
+	// Per-iteration simulated traffic (the transition matrix has the same
+	// pattern as the transposed adjacency; SpMV traffic is pattern-driven).
+	simTraffic := func(mat *sparse.CSR) cachesim.Stats {
+		return cachesim.SimulateLRU(device.L2, trace.SpMVCSR(mat.Transpose(), device.L2.LineBytes))
+	}
+	so, sr := simTraffic(m), simTraffic(pm)
+	to := gpumodel.ProjectTime(device, so)
+	tr := gpumodel.ProjectTime(device, sr)
+	fmt.Printf("\nper-iteration simulated SpMV: original %.2fx ideal, RABBIT++ %.2fx ideal\n",
+		gpumodel.NormalizedRuntime(device, so, kernel, n, nnz),
+		gpumodel.NormalizedRuntime(device, sr, kernel, n, nnz))
+	if saved := to - tr; saved > 0 {
+		fmt.Printf("reordering took %v and pays for itself after ~%.0f PageRank iterations on the modeled device\n",
+			reorderTime.Round(time.Millisecond), reorderTime.Seconds()/saved)
+	}
+	fmt.Printf("(a full PageRank to convergence runs %d iterations; rankings and results are unchanged)\n", reordIters)
+}

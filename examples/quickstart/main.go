@@ -1,0 +1,74 @@
+// Quickstart: generate a community-structured sparse matrix, reorder it
+// with RABBIT++, and measure what the reordering buys — simulated DRAM
+// traffic against the hardware limit, and a real SpMV run proving the
+// kernel's results are unchanged.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/kernels"
+	"repro/internal/reorder"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A 16K-node social-network-like matrix with planted communities,
+	// published in scrambled order (as real datasets usually are).
+	m := gen.PlantedPartition{
+		Nodes:       16384,
+		Communities: 128,
+		AvgDegree:   16,
+		Mu:          0.15,
+	}.Generate(42)
+	fmt.Printf("matrix: %d rows, %d nonzeros\n", m.NumRows, m.NNZ())
+
+	// The evaluation device: an A6000 scaled so this matrix's input-vector
+	// footprint exceeds the L2, the regime where reordering matters.
+	device := gpumodel.SimDeviceSmall()
+	kernel := gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
+	n, nnz := int64(m.NumRows), int64(m.NNZ())
+
+	fmt.Printf("device: %s (L2 %d KB)\n\n", device.Name, device.L2.CapacityBytes>>10)
+	fmt.Printf("%-10s %-22s %-22s\n", "ordering", "DRAM traffic/ideal", "run time/ideal")
+	for _, tech := range []reorder.Technique{
+		reorder.Original{},
+		reorder.Random{Seed: 7},
+		reorder.Rabbit{},
+		reorder.RabbitPP{},
+	} {
+		pm := m.PermuteSymmetric(tech.Order(m))
+		stats := cachesim.SimulateLRU(device.L2, trace.SpMVCSR(pm, device.L2.LineBytes))
+		fmt.Printf("%-10s %-22.2f %-22.2f\n",
+			tech.Name(),
+			gpumodel.NormalizedTraffic(stats, kernel, n, nnz),
+			gpumodel.NormalizedRuntime(device, stats, kernel, n, nnz))
+	}
+
+	// Reordering is semantics-preserving: SpMV(P·A·Pᵀ, P·x) == P·SpMV(A, x).
+	rng := gen.NewRNG(1)
+	x := make([]float32, m.NumCols)
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	base := kernels.DenseSpMVReference(m, x)
+	p := reorder.RabbitPP{}.Order(m)
+	pm := m.PermuteSymmetric(p)
+	px := p.PermuteVector(x)
+	py := make([]float32, pm.NumRows)
+	if err := kernels.SpMVCSR(pm, px, py); err != nil {
+		panic(err)
+	}
+	want := p.PermuteVector(base)
+	var maxErr float64
+	for i := range py {
+		if d := math.Abs(float64(py[i] - want[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("\nsemantics check: max |SpMV(PAPᵀ,Px) - P·SpMV(A,x)| = %.3g\n", maxErr)
+}

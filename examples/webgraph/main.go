@@ -1,0 +1,64 @@
+// Webgraph: the paper's motivating scenario — a hyperlink-style matrix
+// combining community structure with power-law hubs (like pld-arc), where
+// plain community reordering leaves performance on the table and RABBIT++'s
+// insular/hub grouping recovers it.
+//
+// The example sweeps every reordering technique in the repository over the
+// same web-crawl-like matrix and reports simulated traffic, projected run
+// time, L2 hit rate, and dead-line waste, then breaks down *why* RABBIT++
+// wins using the community-quality metrics of Section V.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	m := gen.HubbyCommunities{
+		Nodes:       32768,
+		Communities: 128,
+		AvgDegree:   12,
+		Mu:          0.25,
+		Hubs:        256,
+		HubDegree:   96,
+	}.Generate(2023)
+
+	device := gpumodel.SimDeviceSmall()
+	kernel := gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
+	n, nnz := int64(m.NumRows), int64(m.NNZ())
+	fmt.Printf("web-crawl-like matrix: %d rows, %d nnz, skew(top10%%)=%.1f%%\n\n",
+		n, nnz, 100*m.DegreeSkew(0.10))
+
+	tb := report.New(fmt.Sprintf("SpMV on %s (L2 %d KB)", device.Name, device.L2.CapacityBytes>>10),
+		"technique", "traffic/ideal", "runtime/ideal", "hit-rate", "dead-lines")
+	for _, tech := range reorder.All() {
+		pm := m.PermuteSymmetric(tech.Order(m))
+		s := cachesim.SimulateLRU(device.L2, trace.SpMVCSR(pm, device.L2.LineBytes))
+		tb.Add(tech.Name(),
+			report.X(gpumodel.NormalizedTraffic(s, kernel, n, nnz)),
+			report.X(gpumodel.NormalizedRuntime(device, s, kernel, n, nnz)),
+			report.Pct(s.HitRate()),
+			report.Pct(s.DeadLineFraction()))
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		panic(err)
+	}
+
+	// Why RABBIT++ helps here: the Section V diagnosis.
+	rr := core.Rabbit(m)
+	cs := core.Analyze(m, rr.Communities)
+	fmt.Printf("\ncommunity diagnosis: %d communities, insularity %.3f (< %.2f: hub-depressed), "+
+		"insular nodes %.1f%%, modularity %.3f\n",
+		cs.Communities, cs.Insularity, 0.95, 100*cs.InsularNodeFraction, cs.Modularity)
+	fmt.Println("RABBIT++ groups the insular share for perfect locality and packs the hubs")
+	fmt.Println("into few cache lines while keeping RABBIT's relative hub order (Figure 5).")
+}

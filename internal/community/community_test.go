@@ -1,0 +1,283 @@
+package community
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(6)
+	if uf.Sets() != 6 {
+		t.Fatalf("Sets = %d, want 6", uf.Sets())
+	}
+	uf.Union(0, 1)
+	uf.Union(2, 3)
+	uf.Union(0, 2)
+	if uf.Find(1) != uf.Find(3) {
+		t.Fatal("0-1-2-3 should be one set")
+	}
+	if uf.Find(4) == uf.Find(0) {
+		t.Fatal("4 should be separate")
+	}
+	if uf.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", uf.Sets())
+	}
+	if uf.SetSize(3) != 4 {
+		t.Fatalf("SetSize = %d, want 4", uf.SetSize(3))
+	}
+	labels := uf.Labels()
+	if labels[0] != labels[3] || labels[0] == labels[4] || labels[4] == labels[5] {
+		t.Fatalf("Labels = %v", labels)
+	}
+}
+
+func TestUnionIntoKeepsTarget(t *testing.T) {
+	uf := NewUnionFind(4)
+	// Grow 1's set so it is larger, then force-merge into 0.
+	uf.UnionInto(1, 2)
+	uf.UnionInto(1, 3)
+	root := uf.UnionInto(0, 1)
+	if root != 0 || uf.Find(3) != 0 {
+		t.Fatalf("UnionInto must keep the first argument as root; got root %d, Find(3)=%d", root, uf.Find(3))
+	}
+}
+
+func TestQuickUnionFindTransitivity(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		const n = 64
+		uf := NewUnionFind(n)
+		for _, p := range pairs {
+			uf.Union(int32(p%n), int32((p>>8)%n))
+		}
+		// Roots must be consistent: Find(Find(x)) == Find(x).
+		for x := int32(0); x < n; x++ {
+			if uf.Find(uf.Find(x)) != uf.Find(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoCliques builds two disjoint k-cliques joined by a single bridge edge.
+func twoCliques(k int32) *sparse.CSR {
+	coo := sparse.NewCOO(2*k, 2*k, int(4*k*k))
+	for i := int32(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			coo.AddSym(i, j, 1)
+			coo.AddSym(k+i, k+j, 1)
+		}
+	}
+	coo.AddSym(0, k, 1)
+	return coo.ToCSR()
+}
+
+func cliqueAssignment(k int32) Assignment {
+	labels := make([]int32, 2*k)
+	for i := int32(k); i < 2*k; i++ {
+		labels[i] = 1
+	}
+	return FromLabels(labels)
+}
+
+func TestInsularityTwoCliques(t *testing.T) {
+	k := int32(10)
+	m := twoCliques(k)
+	a := cliqueAssignment(k)
+	// Each clique has k(k-1) stored nonzeros; the bridge adds 2.
+	want := float64(2*k*(k-1)) / float64(2*k*(k-1)+2)
+	got := Insularity(m, a)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Insularity = %v, want %v", got, want)
+	}
+}
+
+func TestInsularityPaperExample(t *testing.T) {
+	// Figure 1's reordered example has insularity 20/24: 24 stored nonzeros
+	// of which 4 cross community boundaries. Reconstruct an equivalent
+	// setup: 10 intra edges and 2 inter edges, stored symmetrically.
+	coo := sparse.NewCOO(10, 10, 48)
+	pairs := [][2]int32{
+		{0, 1}, {0, 2}, {1, 2}, {0, 9}, {1, 9}, // community A = {0,1,2,9}
+		{3, 4}, {3, 5}, {4, 5}, // community B
+		{6, 7}, {6, 8}, // community C (path)
+	}
+	for _, p := range pairs {
+		coo.AddSym(p[0], p[1], 1)
+	}
+	coo.AddSym(2, 3, 1) // inter A-B
+	coo.AddSym(5, 6, 1) // inter B-C
+	m := coo.ToCSR()
+	a := FromLabels([]int32{0, 0, 0, 1, 1, 1, 2, 2, 2, 0})
+	want := 20.0 / 24.0
+	if got := Insularity(m, a); got != want {
+		t.Fatalf("Insularity = %v, want %v (Figure 1)", got, want)
+	}
+}
+
+func TestInsularNodes(t *testing.T) {
+	k := int32(5)
+	m := twoCliques(k)
+	a := cliqueAssignment(k)
+	ins := InsularNodes(m, a)
+	// Nodes 0 and k touch the bridge; all others are insular.
+	for i := int32(0); i < 2*k; i++ {
+		wantInsular := i != 0 && i != k
+		if ins[i] != wantInsular {
+			t.Fatalf("node %d insular = %v, want %v", i, ins[i], wantInsular)
+		}
+	}
+	frac := InsularFraction(m, a)
+	want := float64(2*k-2) / float64(2*k)
+	if frac != want {
+		t.Fatalf("InsularFraction = %v, want %v", frac, want)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	k := int32(8)
+	m := twoCliques(k)
+	good := Modularity(m, cliqueAssignment(k))
+	if good <= 0 || good >= 1 {
+		t.Fatalf("clique-split modularity = %v, want in (0,1)", good)
+	}
+	// Everything in one community: Q = 1 - 1 = 0 for a single community.
+	all := FromLabels(make([]int32, 2*k))
+	if q := Modularity(m, all); q > 1e-12 || q < -1e-12 {
+		t.Fatalf("single-community modularity = %v, want 0", q)
+	}
+	// The planted split must beat singletons and the one-community split.
+	single := Modularity(m, Singletons(2*k))
+	if good <= single {
+		t.Fatalf("clique split Q=%v should beat singletons Q=%v", good, single)
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	a := FromLabels([]int32{5, 5, 9, 5, 9, 7})
+	if a.Count != 3 {
+		t.Fatalf("Count = %d, want 3", a.Count)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := a.Sizes()
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+	if a.AverageSize() != 2 {
+		t.Fatalf("AverageSize = %v, want 2", a.AverageSize())
+	}
+	if a.LargestFraction() != 0.5 {
+		t.Fatalf("LargestFraction = %v, want 0.5", a.LargestFraction())
+	}
+	bad := Assignment{Of: []int32{0, 2}, Count: 2}
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	sparseLabels := Assignment{Of: []int32{0, 0}, Count: 2}
+	if sparseLabels.Validate() == nil {
+		t.Fatal("unused label accepted")
+	}
+}
+
+func TestLouvainRecoversCliques(t *testing.T) {
+	k := int32(12)
+	m := twoCliques(k)
+	a := Louvain(m, LouvainOptions{})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 2 {
+		t.Fatalf("Louvain found %d communities in two bridged cliques, want 2", a.Count)
+	}
+	// All members of each clique share a community.
+	for i := int32(1); i < k; i++ {
+		if a.Of[i] != a.Of[0] || a.Of[k+i] != a.Of[k] {
+			t.Fatal("Louvain split a clique")
+		}
+	}
+	if a.Of[0] == a.Of[k] {
+		t.Fatal("Louvain merged the two cliques")
+	}
+}
+
+func TestLouvainOnPlantedPartition(t *testing.T) {
+	g := gen.PlantedPartition{Nodes: 3000, Communities: 30, AvgDegree: 16, Mu: 0.1}
+	m := g.Generate(17)
+	a := Louvain(m, LouvainOptions{})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := Modularity(m, a)
+	if q < 0.5 {
+		t.Fatalf("Louvain modularity %v on a strongly clustered graph, want >= 0.5", q)
+	}
+	ins := Insularity(m, a)
+	if ins < 0.7 {
+		t.Fatalf("Louvain insularity %v on mu=0.1 planted partition, want >= 0.7", ins)
+	}
+}
+
+func TestLouvainDeterminism(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 1000, Communities: 10, AvgDegree: 10, Mu: 0.2}.Generate(3)
+	a := Louvain(m, LouvainOptions{})
+	b := Louvain(m, LouvainOptions{})
+	if a.Count != b.Count {
+		t.Fatalf("Louvain nondeterministic: %d vs %d communities", a.Count, b.Count)
+	}
+	for i := range a.Of {
+		if a.Of[i] != b.Of[i] {
+			t.Fatalf("Louvain nondeterministic at node %d", i)
+		}
+	}
+}
+
+func TestLouvainEmptyAndTrivial(t *testing.T) {
+	empty := &sparse.CSR{NumRows: 4, NumCols: 4, RowOffsets: make([]int32, 5)}
+	a := Louvain(empty, LouvainOptions{})
+	if len(a.Of) != 4 {
+		t.Fatalf("assignment covers %d of 4 nodes", len(a.Of))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInsularityBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := gen.ErdosRenyi{Nodes: 200, AvgDegree: 5}.Generate(seed)
+		a := Louvain(m, LouvainOptions{})
+		ins := Insularity(m, a)
+		q := Modularity(m, a)
+		return ins >= 0 && ins <= 1 && q >= -0.5 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsularNodesOnlyIntraEdges(t *testing.T) {
+	// Property: masking a matrix to the rows/cols of insular nodes keeps
+	// only intra-community nonzeros.
+	m := gen.PlantedPartition{Nodes: 800, Communities: 8, AvgDegree: 8, Mu: 0.3}.Generate(5)
+	a := Louvain(m, LouvainOptions{})
+	ins := InsularNodes(m, a)
+	for r := int32(0); r < m.NumRows; r++ {
+		if !ins[r] {
+			continue
+		}
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			if a.Of[c] != a.Of[r] {
+				t.Fatalf("insular node %d has an inter-community edge to %d", r, c)
+			}
+		}
+	}
+}

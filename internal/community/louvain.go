@@ -1,0 +1,250 @@
+package community
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// LouvainOptions tunes the multi-level Louvain detector.
+type LouvainOptions struct {
+	// MaxSweeps bounds local-moving sweeps per level (default 16).
+	MaxSweeps int
+	// MinGain stops a level when a full sweep improves modularity by less
+	// than this amount (default 1e-6).
+	MinGain float64
+	// MaxLevels bounds the aggregation depth (default 32).
+	MaxLevels int
+}
+
+func (o LouvainOptions) withDefaults() LouvainOptions {
+	if o.MaxSweeps == 0 {
+		o.MaxSweeps = 16
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 1e-6
+	}
+	if o.MaxLevels == 0 {
+		o.MaxLevels = 32
+	}
+	return o
+}
+
+// Louvain runs multi-level modularity maximization (Blondel et al.) on the
+// matrix interpreted as an undirected unit-weight graph. The pattern should
+// be symmetric; callers with directed matrices should Symmetrize first.
+// It returns the final flat assignment.
+//
+// Louvain serves two roles here: an alternative community detector to
+// RABBIT's incremental aggregation, and a reference point for community
+// quality in tests.
+func Louvain(m *sparse.CSR, opts LouvainOptions) Assignment {
+	opts = opts.withDefaults()
+	// current graph, as adjacency with weights
+	g := fromCSR(m)
+	// nodeComm[level] maps each node of level-graph to its community.
+	assignment := make([]int32, m.NumRows)
+	for i := range assignment {
+		assignment[i] = int32(i)
+	}
+	for level := 0; level < opts.MaxLevels; level++ {
+		comm, improved := localMove(g, opts)
+		if !improved {
+			break
+		}
+		dense := FromLabels(comm)
+		// Flatten into the original-node assignment.
+		for i := range assignment {
+			assignment[i] = dense.Of[assignment[i]]
+		}
+		if dense.Count == int32(g.n) {
+			break // no aggregation happened
+		}
+		g = g.aggregate(dense)
+	}
+	return FromLabels(assignment)
+}
+
+// weightedGraph is the internal adjacency representation used across
+// Louvain levels: CSR-like with float64 weights plus per-node self-loop
+// weight.
+type weightedGraph struct {
+	n       int32
+	offsets []int32
+	nbr     []int32
+	w       []float64
+	selfW   []float64
+	total   float64 // 2m: sum of all degrees including self-loops twice
+}
+
+func fromCSR(m *sparse.CSR) *weightedGraph {
+	g := &weightedGraph{
+		n:       m.NumRows,
+		offsets: make([]int32, m.NumRows+1),
+		selfW:   make([]float64, m.NumRows),
+	}
+	// Count non-self entries.
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			if c == r {
+				g.selfW[r] += 2 // undirected self-loop counts twice in degree
+			} else {
+				g.offsets[r+1]++
+			}
+		}
+	}
+	for i := int32(0); i < g.n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	g.nbr = make([]int32, g.offsets[g.n])
+	g.w = make([]float64, g.offsets[g.n])
+	cursor := make([]int32, g.n)
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			if c == r {
+				continue
+			}
+			dst := g.offsets[r] + cursor[r]
+			cursor[r]++
+			g.nbr[dst] = c
+			g.w[dst] = 1
+		}
+	}
+	for i := int32(0); i < g.n; i++ {
+		g.total += g.selfW[i]
+		for k := g.offsets[i]; k < g.offsets[i+1]; k++ {
+			g.total += g.w[k]
+		}
+	}
+	return g
+}
+
+func (g *weightedGraph) degree(u int32) float64 {
+	d := g.selfW[u]
+	for k := g.offsets[u]; k < g.offsets[u+1]; k++ {
+		d += g.w[k]
+	}
+	return d
+}
+
+// localMove runs the Louvain local-moving phase and returns the community
+// of each node plus whether any move happened.
+func localMove(g *weightedGraph, opts LouvainOptions) ([]int32, bool) {
+	comm := make([]int32, g.n)
+	commTot := make([]float64, g.n) // total degree per community
+	deg := make([]float64, g.n)
+	for i := int32(0); i < g.n; i++ {
+		comm[i] = i
+		deg[i] = g.degree(i)
+		commTot[i] = deg[i]
+	}
+	if g.total == 0 {
+		return comm, false
+	}
+	m2 := g.total
+	anyMove := false
+	// neighWeight[c] accumulates edge weight from u to community c.
+	neighWeight := make([]float64, g.n)
+	var touched []int32
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		gain := 0.0
+		moves := 0
+		for u := int32(0); u < g.n; u++ {
+			cu := comm[u]
+			touched = touched[:0]
+			for k := g.offsets[u]; k < g.offsets[u+1]; k++ {
+				c := comm[g.nbr[k]]
+				if neighWeight[c] == 0 {
+					touched = append(touched, c)
+				}
+				neighWeight[c] += g.w[k]
+			}
+			// Remove u from its community for the gain computation.
+			commTot[cu] -= deg[u]
+			best := cu
+			bestGain := neighWeight[cu] - commTot[cu]*deg[u]/m2
+			for _, c := range touched {
+				if c == cu {
+					continue
+				}
+				gainC := neighWeight[c] - commTot[c]*deg[u]/m2
+				if gainC > bestGain {
+					bestGain = gainC
+					best = c
+				}
+			}
+			if best != cu {
+				delta := bestGain - (neighWeight[cu] - commTot[cu]*deg[u]/m2)
+				gain += 2 * delta / m2
+				moves++
+				anyMove = true
+			}
+			comm[u] = best
+			commTot[best] += deg[u]
+			for _, c := range touched {
+				neighWeight[c] = 0
+			}
+		}
+		if moves == 0 || gain < opts.MinGain {
+			break
+		}
+	}
+	return comm, anyMove
+}
+
+// aggregate contracts each community to a single node.
+func (g *weightedGraph) aggregate(a Assignment) *weightedGraph {
+	k := a.Count
+	agg := &weightedGraph{
+		n:       k,
+		offsets: make([]int32, k+1),
+		selfW:   make([]float64, k),
+	}
+	// Accumulate inter-community weights in per-community maps.
+	maps := make([]map[int32]float64, k)
+	for i := range maps {
+		maps[i] = make(map[int32]float64)
+	}
+	for u := int32(0); u < g.n; u++ {
+		cu := a.Of[u]
+		agg.selfW[cu] += g.selfW[u]
+		for e := g.offsets[u]; e < g.offsets[u+1]; e++ {
+			cv := a.Of[g.nbr[e]]
+			if cv == cu {
+				agg.selfW[cu] += g.w[e]
+			} else {
+				maps[cu][cv] += g.w[e]
+			}
+		}
+	}
+	for c := int32(0); c < k; c++ {
+		agg.offsets[c+1] = agg.offsets[c] + int32(len(maps[c]))
+	}
+	agg.nbr = make([]int32, agg.offsets[k])
+	agg.w = make([]float64, agg.offsets[k])
+	for c := int32(0); c < k; c++ {
+		// Sort neighbors so aggregation (and therefore the whole detector)
+		// is deterministic despite the map accumulation.
+		keys := make([]int32, 0, len(maps[c]))
+		for v := range maps[c] {
+			keys = append(keys, v)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		i := agg.offsets[c]
+		for _, v := range keys {
+			agg.nbr[i] = v
+			agg.w[i] = maps[c][v]
+			i++
+		}
+	}
+	agg.total = 0
+	for c := int32(0); c < k; c++ {
+		agg.total += agg.selfW[c]
+		for e := agg.offsets[c]; e < agg.offsets[c+1]; e++ {
+			agg.total += agg.w[e]
+		}
+	}
+	return agg
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite on subset takes a few seconds; skipped in -short")
+	}
+	r := testRunner(t)
+	for _, e := range Ablations() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("ablation produced no rows")
+			}
+			var buf bytes.Buffer
+			if err := tb.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAblationIDsResolvable(t *testing.T) {
+	for _, e := range Ablations() {
+		got, err := ByID(e.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Paper != e.Paper {
+			t.Fatalf("ByID(%q) resolved to %q", e.ID, got.Paper)
+		}
+	}
+}
+
+func TestPickEntriesrespectsSubset(t *testing.T) {
+	r := testRunner(t, "er-deg16", "mawi-like")
+	picked := pickEntries(r, 5)
+	if len(picked) != 2 {
+		t.Fatalf("picked %v from a 2-matrix subset", picked)
+	}
+	for _, name := range picked {
+		if name != "er-deg16" && name != "mawi-like" {
+			t.Fatalf("picked %q outside the subset", name)
+		}
+	}
+}
+
+func TestCacheSweepMonotone(t *testing.T) {
+	// Traffic in the capacity-sweep table must be non-increasing left to
+	// right for each row (bigger cache never hurts at fixed geometry in
+	// these configurations).
+	r := testRunner(t, "er-deg16")
+	tb, err := AblCacheSweep(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		prev := 1e18
+		for _, cell := range row[2:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil {
+				t.Fatalf("unparsable cell %q", cell)
+			}
+			// Allow tiny non-monotonicity from set-count changes.
+			if v > prev*1.05 {
+				t.Fatalf("traffic grew with capacity in row %v", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestInterleaveRankingStable(t *testing.T) {
+	// The ordering ranking (RANDOM worst, RABBIT best or tied) must hold
+	// in every interleaving column.
+	r := testRunner(t, "soc-tight-2")
+	tb, err := AblInterleave(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(cell string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+		if err != nil {
+			t.Fatalf("unparsable cell %q", cell)
+		}
+		return v
+	}
+	// Rows come in groups of 3 per matrix: RANDOM, RABBIT, RABBIT++.
+	for col := 2; col <= 4; col++ {
+		random := parse(tb.Rows[0][col])
+		rabbit := parse(tb.Rows[1][col])
+		if rabbit >= random {
+			t.Fatalf("column %d: RABBIT %.2f not below RANDOM %.2f", col, rabbit, random)
+		}
+	}
+}
+
+func TestExportWritesCSVs(t *testing.T) {
+	r := testRunner(t, "er-deg16")
+	dir := t.TempDir()
+	set := []Experiment{{ID: "device", Paper: "Table I", Run: TableI}}
+	if err := Export(set, r, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/device.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "spec,") {
+		t.Fatalf("device.csv = %q", data)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Export runs the given experiments and writes each result as
+// <outdir>/<id>.csv, one file per table, creating outdir if needed. The
+// CSV files are the plotting-ready form of the paper's figures.
+func Export(set []Experiment, r *Runner, outdir string) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	for _, e := range set {
+		tb, err := e.Run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		path := filepath.Join(outdir, e.ID+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tb.RenderCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

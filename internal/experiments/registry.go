@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/report"
+)
+
+// Experiment is one regenerable paper result.
+type Experiment struct {
+	// ID is the short handle used by cmd/experiments -run.
+	ID string
+	// Paper names the table/figure being reproduced.
+	Paper string
+	// Run executes the experiment against a runner.
+	Run func(*Runner) (*report.Table, error)
+}
+
+// Registry lists every reproducible table and figure, in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "device", Paper: "Table I (platform specification)", Run: TableI},
+		{ID: "fig2", Paper: "Figure 2 (traffic across orderings)", Run: Fig2},
+		{ID: "obs", Paper: "Section IV-C observation statistics", Run: Observations},
+		{ID: "fig3", Paper: "Figure 3 (RABBIT run time vs insularity)", Run: Fig3},
+		{ID: "corr", Paper: "Section V-B (insularity correlations)", Run: Correlations},
+		{ID: "fig4", Paper: "Figure 4 (insular node percentage)", Run: Fig4},
+		{ID: "fig6", Paper: "Figure 6 (insular sub-matrix traffic)", Run: Fig6},
+		{ID: "table2", Paper: "Table II (RABBIT modification design space)", Run: TableII},
+		{ID: "fig7", Paper: "Figure 7 (RABBIT++ traffic reduction)", Run: Fig7},
+		{ID: "table3", Paper: "Table III (dead cache lines)", Run: TableIII},
+		{ID: "fig8", Paper: "Figure 8 (Belady headroom)", Run: Fig8},
+		{ID: "fig9", Paper: "Figure 9 (reordering cost)", Run: Fig9},
+		{ID: "table4", Paper: "Table IV (other kernels)", Run: TableIV},
+	}
+}
+
+// ByID resolves an experiment from the paper registry or the ablation set.
+func ByID(id string) (Experiment, error) {
+	all := append(Registry(), Ablations()...)
+	for _, e := range all {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range all {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// RunAll executes every registered paper experiment against one shared
+// runner, rendering each table to w as it completes.
+func RunAll(r *Runner, w io.Writer) error {
+	return runSet(Registry(), r, w)
+}
+
+// RunAblations executes the beyond-the-paper ablation experiments.
+func RunAblations(r *Runner, w io.Writer) error {
+	return runSet(Ablations(), r, w)
+}
+
+func runSet(set []Experiment, r *Runner, w io.Writer) error {
+	for _, e := range set {
+		fmt.Fprintf(w, "\n# %s [%s]\n", e.Paper, e.ID)
+		tb, err := e.Run(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

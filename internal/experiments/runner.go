@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Figure 2 (traffic across orderings), Figure 3 (run time vs
+// insularity), the Section V-B correlations, Figure 4 (insular nodes),
+// Figure 6 (insular sub-matrix traffic), Table II (design space), Figure 7
+// (RABBIT++ traffic reduction), Table III (dead lines), Figure 8 (Belady
+// headroom), Figure 9 (reordering cost), and Table IV (other kernels).
+//
+// A Runner lazily generates each corpus matrix once and caches the
+// expensive intermediates (RABBIT's detection, permutations, cache
+// simulations) so the full suite shares work across experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cachesim"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Config selects the corpus scale, the simulated device, and an optional
+// matrix subset.
+type Config struct {
+	Preset gen.Preset
+	Device gpumodel.Device
+	// Matrices restricts the corpus to the named entries; nil runs all 50.
+	Matrices []string
+	// Progress, when non-nil, receives one line per completed unit of
+	// work.
+	Progress io.Writer
+}
+
+// SmallConfig pairs the Small corpus preset with the matching scaled
+// device; tests and benchmarks use it.
+func SmallConfig() Config {
+	return Config{Preset: gen.Small, Device: gpumodel.SimDeviceSmall()}
+}
+
+// FullConfig pairs the Full corpus preset with the matching device;
+// cmd/experiments uses it.
+func FullConfig() Config {
+	return Config{Preset: gen.Full, Device: gpumodel.SimDevice()}
+}
+
+// InsularityThreshold splits the corpus into the paper's two classes:
+// RABBIT reaches near-ideal performance above it (Figure 3).
+const InsularityThreshold = 0.95
+
+// MatrixData bundles one corpus matrix with its cached intermediates.
+type MatrixData struct {
+	Entry gen.Entry
+	M     *sparse.CSR
+	N     int64
+	NNZ   int64
+
+	once   sync.Once
+	rabbit *core.RabbitResult
+	stats  core.CommunityStats
+
+	mu    sync.Mutex
+	perms map[string]sparse.Permutation
+	sims  map[string]cachesim.Stats
+}
+
+// Rabbit returns the cached RABBIT detection result.
+func (md *MatrixData) Rabbit() *core.RabbitResult {
+	md.once.Do(func() {
+		md.rabbit = core.Rabbit(md.M)
+		md.stats = core.Analyze(md.M, md.rabbit.Communities)
+	})
+	return md.rabbit
+}
+
+// Stats returns the community-quality statistics of the RABBIT detection.
+func (md *MatrixData) Stats() core.CommunityStats {
+	md.Rabbit()
+	return md.stats
+}
+
+// HighInsularity reports whether the matrix falls in the paper's
+// insularity ≥ 0.95 class.
+func (md *MatrixData) HighInsularity() bool {
+	return md.Stats().Insularity >= InsularityThreshold
+}
+
+// Runner owns the corpus and its caches.
+type Runner struct {
+	cfg  Config
+	mu   sync.Mutex
+	data map[string]*MatrixData
+}
+
+// NewRunner builds a Runner over the configured corpus subset.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg, data: make(map[string]*MatrixData)}
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Entries returns the corpus entries this runner covers, in corpus order.
+func (r *Runner) Entries() []gen.Entry {
+	all := gen.Corpus()
+	if r.cfg.Matrices == nil {
+		return all
+	}
+	want := make(map[string]bool, len(r.cfg.Matrices))
+	for _, n := range r.cfg.Matrices {
+		want[n] = true
+	}
+	var out []gen.Entry
+	for _, e := range all {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Matrix returns (generating on first use) the named corpus matrix.
+func (r *Runner) Matrix(name string) (*MatrixData, error) {
+	r.mu.Lock()
+	md, ok := r.data[name]
+	r.mu.Unlock()
+	if ok {
+		return md, nil
+	}
+	entry, err := gen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m := entry.Generate(r.cfg.Preset)
+	md = &MatrixData{
+		Entry: entry,
+		M:     m,
+		N:     int64(m.NumRows),
+		NNZ:   int64(m.NNZ()),
+		perms: make(map[string]sparse.Permutation),
+		sims:  make(map[string]cachesim.Stats),
+	}
+	r.mu.Lock()
+	if prior, ok := r.data[name]; ok {
+		md = prior // another caller won the race
+	} else {
+		r.data[name] = md
+	}
+	r.mu.Unlock()
+	r.progress("generated %-24s %8d rows %10d nnz", name, md.N, md.NNZ)
+	return md, nil
+}
+
+func (r *Runner) progress(format string, args ...interface{}) {
+	if r.cfg.Progress != nil {
+		fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+	}
+}
+
+// Perm returns the cached permutation of the technique on the matrix.
+// RABBIT-derived techniques share the underlying community detection.
+func (r *Runner) Perm(md *MatrixData, tech reorder.Technique) sparse.Permutation {
+	md.mu.Lock()
+	p, ok := md.perms[tech.Name()]
+	md.mu.Unlock()
+	if ok {
+		return p
+	}
+	switch t := tech.(type) {
+	case reorder.Rabbit:
+		p = md.Rabbit().Perm
+	case reorder.RabbitPP:
+		p = core.ModifyRabbit(md.M, md.Rabbit(), core.PlusPlusOptions()).Perm
+	case reorder.RabbitVariant:
+		p = core.ModifyRabbit(md.M, md.Rabbit(), t.Opts).Perm
+	default:
+		p = tech.Order(md.M)
+	}
+	md.mu.Lock()
+	md.perms[tech.Name()] = p
+	md.mu.Unlock()
+	r.progress("ordered   %-24s %s", md.Entry.Name, tech.Name())
+	return p
+}
+
+// SimLRU simulates the kernel on the reordered matrix through the device
+// L2 with LRU replacement, caching by (technique, kernel).
+func (r *Runner) SimLRU(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) cachesim.Stats {
+	key := tech.Name() + "|" + k.String()
+	md.mu.Lock()
+	s, ok := md.sims[key]
+	md.mu.Unlock()
+	if ok {
+		return s
+	}
+	s = cachesim.SimulateLRU(r.cfg.Device.L2, r.traceFor(md, tech, k))
+	md.mu.Lock()
+	md.sims[key] = s
+	md.mu.Unlock()
+	r.progress("simulated %-24s %-16s %-12s traffic=%.2fx", md.Entry.Name, tech.Name(), k.String(),
+		gpumodel.NormalizedTraffic(s, k, md.N, md.NNZ))
+	return s
+}
+
+// SimBelady simulates the kernel under Belady-optimal replacement (no
+// caching: Figure 8 visits each combination once).
+func (r *Runner) SimBelady(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) cachesim.Stats {
+	recorded := cachesim.RecordTrace(r.traceFor(md, tech, k))
+	return cachesim.SimulateBelady(r.cfg.Device.L2, recorded)
+}
+
+// traceFor builds the reference stream of the kernel over the reordered
+// matrix.
+func (r *Runner) traceFor(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) func(func(int64)) {
+	pm := md.M.PermuteSymmetric(r.Perm(md, tech))
+	line := r.cfg.Device.L2.LineBytes
+	switch k.Kind {
+	case gpumodel.SpMVCSR:
+		return trace.SpMVCSR(pm, line)
+	case gpumodel.SpMVCOO:
+		return trace.SpMVCOO(sparse.CSRToCOO(pm), line)
+	case gpumodel.SpMMCSR:
+		return trace.SpMMCSR(pm, k.K, line)
+	case gpumodel.SpMVCSC:
+		return trace.SpMVCSC(pm, line)
+	default:
+		panic("experiments: unknown kernel")
+	}
+}
+
+// NormTraffic returns the kernel's simulated traffic normalized to
+// compulsory traffic for the technique on the matrix.
+func (r *Runner) NormTraffic(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) float64 {
+	return gpumodel.NormalizedTraffic(r.SimLRU(md, tech, k), k, md.N, md.NNZ)
+}
+
+// NormRuntime returns the kernel's projected run time normalized to the
+// ideal run time for the technique on the matrix.
+func (r *Runner) NormRuntime(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) float64 {
+	return gpumodel.NormalizedRuntime(r.cfg.Device, r.SimLRU(md, tech, k), k, md.N, md.NNZ)
+}
+
+// InsularMask returns the insular-node flags of the RABBIT communities.
+func (r *Runner) InsularMask(md *MatrixData) []bool {
+	return community.InsularNodes(md.M, md.Rabbit().Communities)
+}
+
+// SpMV is the default kernel of Figures 2-8.
+var SpMV = gpumodel.Kernel{Kind: gpumodel.SpMVCSR}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpumodel"
+	"repro/internal/metrics"
+	"repro/internal/reorder"
+	"repro/internal/report"
+)
+
+// classMeans averages a per-matrix metric over all matrices and over the
+// two insularity classes.
+func classMeans(r *Runner, metric func(md *MatrixData) (float64, error)) (all, lo, hi float64, err error) {
+	var as, ls, hs []float64
+	for _, e := range r.Entries() {
+		md, err := r.Matrix(e.Name)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		v, err := metric(md)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		as = append(as, v)
+		if md.HighInsularity() {
+			hs = append(hs, v)
+		} else {
+			ls = append(ls, v)
+		}
+	}
+	return metrics.Mean(as), metrics.Mean(ls), metrics.Mean(hs), nil
+}
+
+// TableII reproduces the design-space study: SpMV run time (normalized to
+// ideal) for every combination of {± insular grouping} × {RABBIT,
+// RABBIT+HUBSORT, RABBIT+HUBGROUP}, split by insularity class.
+func TableII(r *Runner) (*report.Table, error) {
+	tb := report.New("Table II: design space of RABBIT modifications (SpMV run time / ideal)",
+		"variant", "ALL", "INS<0.95", "INS>=0.95")
+	hubModes := []core.HubMode{core.HubNone, core.HubSort, core.HubGroup}
+	for _, grouped := range []bool{false, true} {
+		for _, hub := range hubModes {
+			variant := reorder.RabbitVariant{Opts: core.Options{GroupInsular: grouped, Hub: hub}}
+			all, lo, hi, err := classMeans(r, func(md *MatrixData) (float64, error) {
+				return r.NormRuntime(md, variant, SpMV), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			label := hub.String()
+			if grouped {
+				label += " +insular-grouped"
+			}
+			tb.Add(label, report.X(all), report.X(lo), report.X(hi))
+		}
+	}
+	tb.Note("paper row RABBIT: 1.54/1.81/1.25 without grouping, 1.49/1.70/1.25 with")
+	tb.Note("paper: HUBSORT hurts RABBIT; insular grouping + HUBGROUP (= RABBIT++) wins")
+	return tb, nil
+}
+
+// TableIII reproduces the dead-line study: the average percentage of cache
+// lines filled but never reused, per reordering technique.
+func TableIII(r *Runner) (*report.Table, error) {
+	techs := append(reorder.Figure2(), reorder.RabbitPP{})
+	tb := report.New("Table III: average % of dead lines inserted into the cache (SpMV)",
+		"technique", "dead-lines", "paper")
+	paper := map[string]string{
+		"RANDOM": "63.31%", "ORIGINAL": "25.08%", "DEGSORT": "26.88%",
+		"DBG": "25.23%", "GORDER": "17.73%", "RABBIT": "22.25%", "RABBIT++": "16.37%",
+	}
+	for _, t := range techs {
+		all, _, _, err := classMeans(r, func(md *MatrixData) (float64, error) {
+			return r.SimLRU(md, t, SpMV).DeadLineFraction(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.Add(t.Name(), report.Pct(all), paper[t.Name()])
+	}
+	return tb, nil
+}
+
+// TableIV reproduces the kernel-generality study: run time normalized to
+// ideal for SpMV-COO, SpMM-CSR-4, and SpMM-CSR-256 across RANDOM,
+// ORIGINAL, RABBIT, and RABBIT++, split by insularity class.
+func TableIV(r *Runner) (*report.Table, error) {
+	kernels := []gpumodel.Kernel{
+		{Kind: gpumodel.SpMVCOO},
+		{Kind: gpumodel.SpMMCSR, K: 4},
+		{Kind: gpumodel.SpMMCSR, K: 256},
+	}
+	techs := []reorder.Technique{
+		reorder.Random{Seed: 0xC0FFEE},
+		reorder.Original{},
+		reorder.Rabbit{},
+		reorder.RabbitPP{},
+	}
+	cols := []string{"technique"}
+	for _, k := range kernels {
+		cols = append(cols, k.String()+" ALL", k.String()+" I<0.95", k.String()+" I>=0.95")
+	}
+	tb := report.New("Table IV: run time normalized to ideal across cuSPARSE-equivalent kernels", cols...)
+	for _, t := range techs {
+		row := []string{t.Name()}
+		for _, k := range kernels {
+			all, lo, hi, err := classMeans(r, func(md *MatrixData) (float64, error) {
+				return r.NormRuntime(md, t, k), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.X(all), report.X(lo), report.X(hi))
+		}
+		tb.Add(row...)
+	}
+	tb.Note("paper: RABBIT++ beats RABBIT on every kernel and class; RANDOM explodes on SpMM-256 (139x)")
+	return tb, nil
+}
+
+// TableI prints the evaluation platform specification (the paper's
+// Table I) next to the scaled simulation device in use.
+func TableI(r *Runner) (*report.Table, error) {
+	a := gpumodel.A6000()
+	d := r.cfg.Device
+	tb := report.New("Table I: evaluation platforms", "spec", a.Name, d.Name)
+	row := func(label string, f func(gpumodel.Device) string) {
+		tb.Add(label, f(a), f(d))
+	}
+	row("Peak compute (SP)", func(x gpumodel.Device) string { return fmt.Sprintf("%.1f TFLOPS", x.PeakFlops/1e12) })
+	row("Peak DRAM bandwidth", func(x gpumodel.Device) string { return fmt.Sprintf("%.1f GB/s", x.PeakBandwidth/1e9) })
+	row("Achievable bandwidth", func(x gpumodel.Device) string { return fmt.Sprintf("%.1f GB/s", x.EffectiveBandwidth/1e9) })
+	row("L2 capacity", func(x gpumodel.Device) string { return fmt.Sprintf("%d KB", x.L2.CapacityBytes>>10) })
+	row("L2 line / ways", func(x gpumodel.Device) string { return fmt.Sprintf("%dB / %d-way", x.L2.LineBytes, x.L2.Ways) })
+	row("Memory capacity", func(x gpumodel.Device) string { return fmt.Sprintf("%d MB", x.MemoryBytes>>20) })
+	tb.Note("the simulation device scales the A6000 so the scaled corpus keeps the paper's footprint/capacity ratios")
+	return tb, nil
+}

@@ -1,0 +1,519 @@
+package gen
+
+import (
+	"repro/internal/sparse"
+)
+
+// Generators in this file all produce square matrices. Unless noted
+// otherwise the output pattern is symmetric (the matrix is an undirected
+// graph), values are pseudo-random in (0.1, 1.1], and self-loops are
+// avoided. Each generator is deterministic in (params, seed).
+
+func value(r *RNG) float32 { return r.Float32() + 0.1 }
+
+// PlantedPartition generates a graph with k planted communities and a
+// tunable mixing parameter mu: each endpoint of an edge escapes its
+// community with probability mu. Community sizes follow a mild power law so
+// the corpus contains both balanced and unbalanced community structure.
+// Low mu yields high insularity; high mu approaches an unstructured graph.
+type PlantedPartition struct {
+	Nodes       int32
+	Communities int32
+	AvgDegree   int32
+	Mu          float64 // inter-community edge probability per endpoint
+	SizeSkew    float64 // Zipf exponent over community sizes; 0 = balanced
+}
+
+// Generate builds the matrix. Node IDs are scrambled so the raw ordering
+// carries no community information (the corpus curator decides whether to
+// present a "publisher reordered" variant).
+func (g PlantedPartition) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n, k := g.Nodes, g.Communities
+	// Assign nodes to communities.
+	commOf := make([]int32, n)
+	members := make([][]int32, k)
+	if g.SizeSkew <= 0 {
+		for i := int32(0); i < n; i++ {
+			c := i % k
+			commOf[i] = c
+		}
+	} else {
+		for i := int32(0); i < n; i++ {
+			c := r.Zipf(k, g.SizeSkew)
+			commOf[i] = c
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		members[commOf[i]] = append(members[commOf[i]], i)
+	}
+	coo := sparse.NewCOO(n, n, int(n)*int(g.AvgDegree))
+	half := int64(n) * int64(g.AvgDegree) / 2
+	for e := int64(0); e < half; e++ {
+		u := r.Intn(n)
+		var v int32
+		if r.Float64() >= g.Mu && len(members[commOf[u]]) > 1 {
+			m := members[commOf[u]]
+			v = m[r.Intn(int32(len(m)))]
+		} else {
+			v = r.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		coo.AddSym(u, v, value(r))
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// Hierarchical generates a graph with nested community structure, the
+// regime RABBIT was designed for (Section V-A): tightly knit inner
+// communities inside looser outer ones. The node ID space is split into a
+// balanced tree of Levels levels with Fanout children each; an edge's
+// endpoint is drawn by walking down the tree and escaping to a sibling
+// subtree with probability Escape at each level.
+type Hierarchical struct {
+	Nodes     int32
+	Levels    int
+	Fanout    int32
+	AvgDegree int32
+	Escape    float64
+}
+
+// Generate builds the matrix with scrambled IDs.
+func (g Hierarchical) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	coo := sparse.NewCOO(n, n, int(n)*int(g.AvgDegree))
+	half := int64(n) * int64(g.AvgDegree) / 2
+	for e := int64(0); e < half; e++ {
+		u := r.Intn(n)
+		// Walk down the implicit tree around u.
+		lo, hi := int32(0), n
+		for l := 0; l < g.Levels && hi-lo > g.Fanout; l++ {
+			if r.Float64() < g.Escape {
+				break
+			}
+			span := (hi - lo + g.Fanout - 1) / g.Fanout
+			child := (u - lo) / span
+			lo = lo + child*span
+			if lo+span < hi {
+				hi = lo + span
+			}
+		}
+		v := lo + r.Intn(hi-lo)
+		if u == v {
+			continue
+		}
+		coo.AddSym(u, v, value(r))
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// RMAT generates a recursive-matrix (Kronecker-like) power-law graph, the
+// standard model for social-network and web-graph degree skew. A, B, C are
+// the quadrant probabilities (D = 1-A-B-C). Larger A concentrates edges on
+// low IDs, producing hub vertices.
+type RMAT struct {
+	LogNodes  int   // number of nodes = 1 << LogNodes
+	AvgDegree int32 // expected nonzeros per row
+	A, B, C   float64
+	Symmetric bool
+}
+
+// Generate builds the matrix with scrambled IDs so RANDOM/ORIGINAL differ
+// only by the curator's choice.
+func (g RMAT) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := int32(1) << g.LogNodes
+	edges := int64(n) * int64(g.AvgDegree)
+	if g.Symmetric {
+		edges /= 2
+	}
+	coo := sparse.NewCOO(n, n, int(edges))
+	for e := int64(0); e < edges; e++ {
+		var u, v int32
+		for bit := g.LogNodes - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < g.A:
+				// both high bits zero
+			case p < g.A+g.B:
+				v |= 1 << uint(bit)
+			case p < g.A+g.B+g.C:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		if u == v {
+			continue
+		}
+		if g.Symmetric {
+			coo.AddSym(u, v, value(r))
+		} else {
+			coo.Add(u, v, value(r))
+		}
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// Mesh2D generates a 2-dimensional grid with a 5-point (or 9-point) stencil,
+// the structure of discretized PDE and CFD matrices. The natural row-major
+// ordering already has excellent locality, which is exactly how such
+// matrices arrive from mesh generators.
+type Mesh2D struct {
+	Width, Height int32
+	NinePoint     bool
+}
+
+// Generate builds the matrix in natural row-major node order.
+func (g Mesh2D) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Width * g.Height
+	deg := 5
+	if g.NinePoint {
+		deg = 9
+	}
+	coo := sparse.NewCOO(n, n, int(n)*deg)
+	id := func(x, y int32) int32 { return y*g.Width + x }
+	for y := int32(0); y < g.Height; y++ {
+		for x := int32(0); x < g.Width; x++ {
+			u := id(x, y)
+			coo.Add(u, u, value(r))
+			if x+1 < g.Width {
+				coo.AddSym(u, id(x+1, y), value(r))
+			}
+			if y+1 < g.Height {
+				coo.AddSym(u, id(x, y+1), value(r))
+			}
+			if g.NinePoint {
+				if x+1 < g.Width && y+1 < g.Height {
+					coo.AddSym(u, id(x+1, y+1), value(r))
+				}
+				if x > 0 && y+1 < g.Height {
+					coo.AddSym(u, id(x-1, y+1), value(r))
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Mesh3D generates a 3-dimensional grid with a 7-point stencil
+// (electromagnetics / DNA-electrophoresis style problems).
+type Mesh3D struct {
+	X, Y, Z int32
+}
+
+// Generate builds the matrix in natural lexicographic node order.
+func (g Mesh3D) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.X * g.Y * g.Z
+	coo := sparse.NewCOO(n, n, int(n)*7)
+	id := func(x, y, z int32) int32 { return (z*g.Y+y)*g.X + x }
+	for z := int32(0); z < g.Z; z++ {
+		for y := int32(0); y < g.Y; y++ {
+			for x := int32(0); x < g.X; x++ {
+				u := id(x, y, z)
+				coo.Add(u, u, value(r))
+				if x+1 < g.X {
+					coo.AddSym(u, id(x+1, y, z), value(r))
+				}
+				if y+1 < g.Y {
+					coo.AddSym(u, id(x, y+1, z), value(r))
+				}
+				if z+1 < g.Z {
+					coo.AddSym(u, id(x, y, z+1), value(r))
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// RoadGrid generates a road-network-like graph: a sparse 2D grid where a
+// fraction of the lattice edges are deleted and a few long-range shortcuts
+// (highways) are added. Average degree stays very low (~2-3), matching
+// road matrices in the paper's corpus.
+type RoadGrid struct {
+	Width, Height int32
+	DropProb      float64 // probability a lattice edge is removed
+	Shortcuts     int32   // number of random long-range edges
+}
+
+// Generate builds the matrix in natural order with scrambling left to the
+// curator; real road networks are published in quasi-geographic order, so
+// the natural order is retained.
+func (g RoadGrid) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Width * g.Height
+	coo := sparse.NewCOO(n, n, int(n)*3)
+	id := func(x, y int32) int32 { return y*g.Width + x }
+	for y := int32(0); y < g.Height; y++ {
+		for x := int32(0); x < g.Width; x++ {
+			u := id(x, y)
+			if x+1 < g.Width && r.Float64() >= g.DropProb {
+				coo.AddSym(u, id(x+1, y), value(r))
+			}
+			if y+1 < g.Height && r.Float64() >= g.DropProb {
+				coo.AddSym(u, id(x, y+1), value(r))
+			}
+		}
+	}
+	for s := int32(0); s < g.Shortcuts; s++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			coo.AddSym(u, v, value(r))
+		}
+	}
+	return coo.ToCSR()
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// node connects to K nearest neighbors and each edge is rewired to a random
+// target with probability Beta.
+type WattsStrogatz struct {
+	Nodes int32
+	K     int32 // neighbors per side on the ring
+	Beta  float64
+}
+
+// Generate builds the matrix in ring order.
+func (g WattsStrogatz) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	coo := sparse.NewCOO(n, n, int(n)*int(g.K)*2)
+	for u := int32(0); u < n; u++ {
+		for j := int32(1); j <= g.K; j++ {
+			v := (u + j) % n
+			if r.Float64() < g.Beta {
+				v = r.Intn(n)
+			}
+			if u != v {
+				coo.AddSym(u, v, value(r))
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// ErdosRenyi generates a uniformly random graph with no structure at all —
+// the control case where no reordering technique can help.
+type ErdosRenyi struct {
+	Nodes     int32
+	AvgDegree int32
+}
+
+// Generate builds the matrix.
+func (g ErdosRenyi) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	half := int64(n) * int64(g.AvgDegree) / 2
+	coo := sparse.NewCOO(n, n, int(half)*2)
+	for e := int64(0); e < half; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			coo.AddSym(u, v, value(r))
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Banded generates a banded matrix with optional random fill outside the
+// band — the shape of circuit-simulation and nonlinear-optimization
+// matrices.
+type Banded struct {
+	Nodes     int32
+	Band      int32   // half bandwidth
+	Density   float64 // probability of each in-band entry
+	OffBand   int32   // random entries outside the band
+	Symmetric bool
+}
+
+// Generate builds the matrix in natural order.
+func (g Banded) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	coo := sparse.NewCOO(n, n, int(float64(n)*float64(g.Band)*g.Density))
+	for u := int32(0); u < n; u++ {
+		coo.Add(u, u, value(r))
+		for d := int32(1); d <= g.Band; d++ {
+			if u+d < n && r.Float64() < g.Density {
+				if g.Symmetric {
+					coo.AddSym(u, u+d, value(r))
+				} else {
+					coo.Add(u, u+d, value(r))
+				}
+			}
+		}
+	}
+	for s := int32(0); s < g.OffBand; s++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			coo.AddSym(u, v, value(r))
+		}
+	}
+	return coo.ToCSR()
+}
+
+// KmerChain generates a protein-k-mer-like graph: many long chains (paths)
+// with occasional branches, yielding a very low average degree and strong
+// but trivially linear community structure.
+type KmerChain struct {
+	Nodes      int32
+	ChainLen   int32
+	BranchProb float64
+}
+
+// Generate builds the matrix with scrambled IDs (k-mer datasets arrive in
+// hash order, which destroys chain locality).
+func (g KmerChain) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	coo := sparse.NewCOO(n, n, int(n)*2)
+	for start := int32(0); start < n; start += g.ChainLen {
+		end := start + g.ChainLen
+		if end > n {
+			end = n
+		}
+		for u := start; u+1 < end; u++ {
+			coo.AddSym(u, u+1, value(r))
+			if r.Float64() < g.BranchProb {
+				v := start + r.Intn(end-start)
+				if v != u {
+					coo.AddSym(u, v, value(r))
+				}
+			}
+		}
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// HubStar generates a "mawi-like" matrix: a handful of gigantic hubs
+// connected to nearly every node, plus a sparse random background. Its
+// community structure degenerates — community detection merges almost the
+// whole graph into one community, so insularity is high while locality
+// benefit is nil. This reproduces the paper's mawi anomaly (Section V-B).
+type HubStar struct {
+	Nodes      int32
+	Hubs       int32
+	HubConn    float64 // fraction of nodes each hub connects to
+	Background int32   // random background edges
+}
+
+// Generate builds the matrix with scrambled IDs.
+func (g HubStar) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	coo := sparse.NewCOO(n, n, int(float64(n)*g.HubConn*float64(g.Hubs)))
+	for h := int32(0); h < g.Hubs; h++ {
+		hub := r.Intn(n)
+		for v := int32(0); v < n; v++ {
+			if v != hub && r.Float64() < g.HubConn {
+				coo.AddSym(hub, v, value(r))
+			}
+		}
+	}
+	for e := int32(0); e < g.Background; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			coo.AddSym(u, v, value(r))
+		}
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// EmptyRowHeavy generates a "wiki-Talk-like" directed matrix where only a
+// small fraction of rows have out-edges (most users never write) while
+// in-edges follow a power law. The paper's footnote 2 uses wiki-Talk to
+// show the analytic ideal-traffic formula overestimates when most rows are
+// empty, letting measured traffic drop below "ideal".
+type EmptyRowHeavy struct {
+	Nodes      int32
+	ActiveFrac float64 // fraction of rows with out-edges
+	AvgDegree  int32   // average out-degree of active rows
+	TargetSkew float64 // Zipf exponent over targets
+}
+
+// Generate builds the (asymmetric) matrix with scrambled IDs.
+func (g EmptyRowHeavy) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	active := int32(float64(n) * g.ActiveFrac)
+	if active < 1 {
+		active = 1
+	}
+	coo := sparse.NewCOO(n, n, int(active)*int(g.AvgDegree))
+	actors := r.Perm(n)[:active]
+	for _, u := range actors {
+		deg := 1 + r.Intn(2*g.AvgDegree)
+		for d := int32(0); d < deg; d++ {
+			v := r.Zipf(n, g.TargetSkew)
+			if v != u {
+				coo.Add(u, v, value(r))
+			}
+		}
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// HubbyCommunities overlays planted community structure with power-law hub
+// vertices — the "pld-arc-like" hyperlink regime where community structure
+// exists but hubs depress insularity. This family is where RABBIT++'s
+// insular/hub grouping earns its keep.
+type HubbyCommunities struct {
+	Nodes       int32
+	Communities int32
+	AvgDegree   int32
+	Mu          float64
+	Hubs        int32
+	HubDegree   int32
+}
+
+// Generate builds the matrix with scrambled IDs.
+func (g HubbyCommunities) Generate(seed uint64) *sparse.CSR {
+	r := NewRNG(seed)
+	n := g.Nodes
+	commOf := make([]int32, n)
+	members := make([][]int32, g.Communities)
+	for i := int32(0); i < n; i++ {
+		c := i % g.Communities
+		commOf[i] = c
+		members[c] = append(members[c], i)
+	}
+	coo := sparse.NewCOO(n, n, int(n)*int(g.AvgDegree)+int(g.Hubs)*int(g.HubDegree))
+	half := int64(n) * int64(g.AvgDegree) / 2
+	for e := int64(0); e < half; e++ {
+		u := r.Intn(n)
+		var v int32
+		if r.Float64() >= g.Mu {
+			m := members[commOf[u]]
+			v = m[r.Intn(int32(len(m)))]
+		} else {
+			v = r.Intn(n)
+		}
+		if u != v {
+			coo.AddSym(u, v, value(r))
+		}
+	}
+	for h := int32(0); h < g.Hubs; h++ {
+		hub := r.Intn(n)
+		for d := int32(0); d < g.HubDegree; d++ {
+			v := r.Intn(n)
+			if v != hub {
+				coo.AddSym(hub, v, value(r))
+			}
+		}
+	}
+	return scramble(coo.ToCSR(), r)
+}
+
+// scramble applies a random symmetric permutation so the emitted ID order
+// carries no information about how the matrix was generated. Matrices from
+// social-network and crawl sources arrive in effectively arbitrary order;
+// the corpus curator layers "publisher ordering" choices on top.
+func scramble(m *sparse.CSR, r *RNG) *sparse.CSR {
+	return m.PermuteSymmetric(sparse.Permutation(r.Perm(m.NumRows)))
+}

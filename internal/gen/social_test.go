@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestBarabasiAlbertProperties(t *testing.T) {
+	m := BarabasiAlbert{Nodes: 4000, M: 4}.Generate(1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsPatternSymmetric() {
+		t.Fatal("BA graph must be symmetric")
+	}
+	// Preferential attachment yields strong degree skew: top 10% of rows
+	// hold far more than 10% of nonzeros.
+	if skew := m.DegreeSkew(0.10); skew < 0.25 {
+		t.Fatalf("BA skew = %.3f, want heavy tail", skew)
+	}
+	// Average degree ~2M.
+	if avg := m.AverageDegree(); avg < 5 || avg > 11 {
+		t.Fatalf("BA average degree = %.1f, want near 2M = 8", avg)
+	}
+	if !m.Equal(BarabasiAlbert{Nodes: 4000, M: 4}.Generate(1)) {
+		t.Fatal("BA generator not deterministic")
+	}
+}
+
+func TestBarabasiAlbertTinyGraphs(t *testing.T) {
+	for _, n := range []int32{1, 2, 3, 5} {
+		m := BarabasiAlbert{Nodes: n, M: 3}.Generate(2)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestForestFireProperties(t *testing.T) {
+	m := ForestFire{Nodes: 3000, BurnProb: 0.35}.Generate(3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsPatternSymmetric() {
+		t.Fatal("forest-fire graph must be symmetric")
+	}
+	if m.NNZ() < int(m.NumRows) {
+		t.Fatalf("forest fire produced only %d nonzeros for %d nodes", m.NNZ(), m.NumRows)
+	}
+	if !m.Equal(ForestFire{Nodes: 3000, BurnProb: 0.35}.Generate(3)) {
+		t.Fatal("forest-fire generator not deterministic")
+	}
+}
+
+func TestForestFireBurnProbDensifies(t *testing.T) {
+	lo := ForestFire{Nodes: 2000, BurnProb: 0.15}.Generate(4)
+	hi := ForestFire{Nodes: 2000, BurnProb: 0.5}.Generate(4)
+	if hi.NNZ() <= lo.NNZ() {
+		t.Fatalf("higher burn probability should densify: %d vs %d nonzeros", hi.NNZ(), lo.NNZ())
+	}
+}
+
+func TestForestFireDefaultBurnProb(t *testing.T) {
+	m := ForestFire{Nodes: 500}.Generate(5) // BurnProb 0 -> default
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() == 0 {
+		t.Fatal("default burn probability produced an empty graph")
+	}
+}

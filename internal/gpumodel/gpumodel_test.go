@@ -1,0 +1,179 @@
+package gpumodel
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+func TestDeviceSpecs(t *testing.T) {
+	d := A6000()
+	if d.L2.CapacityBytes != 6<<20 {
+		t.Fatalf("A6000 L2 = %d, want 6 MB", d.L2.CapacityBytes)
+	}
+	if err := d.L2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.PeakBandwidth != 768e9 {
+		t.Fatalf("A6000 peak BW = %v", d.PeakBandwidth)
+	}
+	// Paper: A6000 needs arithmetic intensity >= ~50 to be compute bound.
+	ai := d.ComputeBoundIntensity()
+	if ai < 45 || ai > 55 {
+		t.Fatalf("compute-bound intensity = %v, want ~50", ai)
+	}
+}
+
+func TestScaledDevicesPreserveRatios(t *testing.T) {
+	a := A6000()
+	for _, d := range []Device{SimDevice(), SimDeviceSmall()} {
+		if err := d.L2.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		// Scaling must preserve the compute-bound intensity (we scale
+		// bandwidth and compute together).
+		if got, want := d.ComputeBoundIntensity(), a.ComputeBoundIntensity(); got < want*0.99 || got > want*1.01 {
+			t.Fatalf("%s: compute-bound intensity %v, want %v", d.Name, got, want)
+		}
+		if d.L2.LineBytes != a.L2.LineBytes || d.L2.Ways != a.L2.Ways {
+			t.Fatalf("%s: line/ways changed", d.Name)
+		}
+	}
+}
+
+func TestCompulsoryBytesFormulas(t *testing.T) {
+	const n, nnz = 1000, 5000
+	// SpMV-CSR: (2N + (N+1) + 2NZ) * 4 (Section IV-B).
+	if got, want := (Kernel{Kind: SpMVCSR}).CompulsoryBytes(n, nnz), int64((2*n+(n+1)+2*nnz)*4); got != want {
+		t.Fatalf("SpMV-CSR compulsory = %d, want %d", got, want)
+	}
+	if got, want := (Kernel{Kind: SpMVCOO}).CompulsoryBytes(n, nnz), int64((2*n+3*nnz)*4); got != want {
+		t.Fatalf("SpMV-COO compulsory = %d, want %d", got, want)
+	}
+	if got, want := (Kernel{Kind: SpMMCSR, K: 4}).CompulsoryBytes(n, nnz), int64((2*n*4+(n+1)+2*nnz)*4); got != want {
+		t.Fatalf("SpMM-4 compulsory = %d, want %d", got, want)
+	}
+}
+
+func TestArithmeticIntensityBound(t *testing.T) {
+	// Paper: the theoretical upper bound on SpMV arithmetic intensity is
+	// 0.25 FLOP/byte.
+	ai := (Kernel{Kind: SpMVCSR}).ArithmeticIntensity(1000, 1_000_000)
+	if ai <= 0 || ai > 0.25 {
+		t.Fatalf("SpMV arithmetic intensity = %v, want in (0, 0.25]", ai)
+	}
+	// SpMV is far below the compute-bound threshold on every device.
+	if ai >= A6000().ComputeBoundIntensity() {
+		t.Fatal("SpMV should be memory bound on the A6000")
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	cases := map[string]Kernel{
+		"SpMV-CSR":     {Kind: SpMVCSR},
+		"SpMV-COO":     {Kind: SpMVCOO},
+		"SpMM-CSR-4":   {Kind: SpMMCSR, K: 4},
+		"SpMM-CSR-256": {Kind: SpMMCSR, K: 256},
+	}
+	for want, k := range cases {
+		if got := k.String(); got != want {
+			t.Fatalf("Kernel.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestIdealTimePositiveAndLinear(t *testing.T) {
+	d := A6000()
+	k := Kernel{Kind: SpMVCSR}
+	t1 := IdealTime(d, k, 1_000_000, 10_000_000)
+	t2 := IdealTime(d, k, 2_000_000, 20_000_000)
+	if t1 <= 0 {
+		t.Fatal("ideal time must be positive")
+	}
+	if t2 < t1*1.9 || t2 > t1*2.1 {
+		t.Fatalf("ideal time should scale linearly: %v vs %v", t1, t2)
+	}
+}
+
+func TestProjectTimePenalizesMisses(t *testing.T) {
+	d := A6000()
+	lowMiss := cachesim.Stats{Accesses: 1000, Misses: 10, LineBytes: 128}
+	highMiss := cachesim.Stats{Accesses: 1000, Misses: 900, LineBytes: 128}
+	tl := ProjectTime(d, lowMiss)
+	th := ProjectTime(d, highMiss)
+	if th <= tl {
+		t.Fatal("more misses must project a longer run time")
+	}
+	// With equal traffic, higher miss fraction means more time.
+	sameTrafficLow := cachesim.Stats{Accesses: 100000, Misses: 900, LineBytes: 128}
+	if ProjectTime(d, sameTrafficLow) >= th {
+		t.Fatal("same traffic at lower miss fraction must be faster")
+	}
+}
+
+// TestNormalizedTrafficNearOneForStreaming is an end-to-end sanity check
+// of the whole model stack: a matrix whose working set fits in L2 should
+// incur almost exactly compulsory traffic, so normalized traffic ≈ 1.
+func TestNormalizedTrafficNearOneForStreaming(t *testing.T) {
+	m := gen.Mesh2D{Width: 60, Height: 60}.Generate(1)
+	d := A6000() // 6 MB dwarfs this matrix
+	s := cachesim.SimulateLRU(d.L2, trace.SpMVCSR(m, d.L2.LineBytes))
+	k := Kernel{Kind: SpMVCSR}
+	nt := NormalizedTraffic(s, k, int64(m.NumRows), int64(m.NNZ()))
+	if nt < 0.8 || nt > 1.3 {
+		t.Fatalf("normalized traffic = %v for an in-cache matrix, want ~1 (line rounding aside)", nt)
+	}
+	nr := NormalizedRuntime(d, s, k, int64(m.NumRows), int64(m.NNZ()))
+	if nr < nt {
+		t.Fatalf("normalized runtime %v below normalized traffic %v", nr, nt)
+	}
+}
+
+func TestRandomOrderingInflatesTraffic(t *testing.T) {
+	// A scrambled community graph against a small L2 must show traffic
+	// well above compulsory — the Figure 2 RANDOM regime.
+	m := gen.PlantedPartition{Nodes: 20000, Communities: 100, AvgDegree: 10, Mu: 0.1}.Generate(2)
+	d := SimDeviceSmall()
+	s := cachesim.SimulateLRU(d.L2, trace.SpMVCSR(m, d.L2.LineBytes))
+	k := Kernel{Kind: SpMVCSR}
+	nt := NormalizedTraffic(s, k, int64(m.NumRows), int64(m.NNZ()))
+	if nt < 1.5 {
+		t.Fatalf("scrambled graph normalized traffic = %v, want well above 1", nt)
+	}
+}
+
+func TestCSCKernelModel(t *testing.T) {
+	k := Kernel{Kind: SpMVCSC}
+	if k.String() != "SpMV-CSC" {
+		t.Fatalf("name = %q", k.String())
+	}
+	// Pull SpMV moves the same operand arrays as push.
+	if k.CompulsoryBytes(100, 500) != (Kernel{Kind: SpMVCSR}).CompulsoryBytes(100, 500) {
+		t.Fatal("CSC compulsory traffic must equal CSR's")
+	}
+	if k.Flops(500) != 1000 {
+		t.Fatalf("Flops = %d, want 2 per nonzero", k.Flops(500))
+	}
+}
+
+func TestHostDeviceAndRoofline(t *testing.T) {
+	l2 := cachesim.Config{CapacityBytes: 1 << 20, LineBytes: 64, Ways: 16}
+	d := HostDevice("host", 10e9, l2)
+	if err := d.L2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.ComputeBoundIntensity(); got != 50 {
+		t.Fatalf("compute-bound intensity = %v, want 50", got)
+	}
+	k := Kernel{Kind: SpMVCSR}
+	// Memory-bound: roofline equals traffic/bandwidth.
+	if got, want := RooflineTime(d, k, 1000, 10e9), 1.0; got != want {
+		t.Fatalf("roofline = %v, want %v", got, want)
+	}
+	// Compute term dominates only with absurd traffic=0 cases.
+	if RooflineTime(d, k, 1_000_000, 0) <= 0 {
+		t.Fatal("compute term must keep roofline positive at zero traffic")
+	}
+}

@@ -1,0 +1,205 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func approxEqual(a, b []float32, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > tol*(1+math.Abs(float64(a[i]))) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomVec(r *gen.RNG, n int32) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = r.Float32()*2 - 1
+	}
+	return x
+}
+
+func TestSpMVCSRKnownValues(t *testing.T) {
+	// [[2 0 1], [0 3 0], [4 0 5]] * [1 2 3] = [5 6 19]
+	coo := sparse.NewCOO(3, 3, 5)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 2, 1)
+	coo.Add(1, 1, 3)
+	coo.Add(2, 0, 4)
+	coo.Add(2, 2, 5)
+	m := coo.ToCSR()
+	x := []float32{1, 2, 3}
+	y := make([]float32, 3)
+	if err := SpMVCSR(m, x, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{5, 6, 19}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestSpMVShapeErrors(t *testing.T) {
+	m := &sparse.CSR{NumRows: 2, NumCols: 3, RowOffsets: []int32{0, 0, 0}}
+	if err := SpMVCSR(m, make([]float32, 2), make([]float32, 2)); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+	if err := SpMVCSR(m, make([]float32, 3), make([]float32, 3)); err == nil {
+		t.Fatal("wrong y length accepted")
+	}
+	if err := SpMVCSRParallel(m, make([]float32, 2), make([]float32, 2)); err == nil {
+		t.Fatal("parallel: wrong x length accepted")
+	}
+	coo := sparse.NewCOO(2, 3, 0)
+	if err := SpMVCOO(coo, make([]float32, 2), make([]float32, 2)); err == nil {
+		t.Fatal("COO: wrong x length accepted")
+	}
+}
+
+func TestSpMVMatchesReference(t *testing.T) {
+	r := gen.NewRNG(1)
+	m := gen.ErdosRenyi{Nodes: 500, AvgDegree: 7}.Generate(2)
+	x := randomVec(r, m.NumCols)
+	want := DenseSpMVReference(m, x)
+
+	y := make([]float32, m.NumRows)
+	if err := SpMVCSR(m, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(y, want, 1e-5) {
+		t.Fatal("SpMVCSR disagrees with reference")
+	}
+
+	yp := make([]float32, m.NumRows)
+	if err := SpMVCSRParallel(m, x, yp); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(yp, want, 1e-5) {
+		t.Fatal("SpMVCSRParallel disagrees with reference")
+	}
+
+	yc := make([]float32, m.NumRows)
+	if err := SpMVCOO(sparse.CSRToCOO(m), x, yc); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(yc, want, 1e-4) {
+		t.Fatal("SpMVCOO disagrees with reference")
+	}
+}
+
+func TestSpMMMatchesColumnwiseSpMV(t *testing.T) {
+	r := gen.NewRNG(3)
+	m := gen.ErdosRenyi{Nodes: 200, AvgDegree: 6}.Generate(4)
+	const k = 5
+	b := NewDense(m.NumCols, k)
+	for i := range b.Data {
+		b.Data[i] = r.Float32()
+	}
+	c := NewDense(m.NumRows, k)
+	if err := SpMMCSR(m, b, c); err != nil {
+		t.Fatal(err)
+	}
+	// Column j of C must equal SpMV with column j of B.
+	for j := int32(0); j < k; j++ {
+		x := make([]float32, m.NumCols)
+		for i := int32(0); i < m.NumCols; i++ {
+			x[i] = b.At(i, j)
+		}
+		want := DenseSpMVReference(m, x)
+		got := make([]float32, m.NumRows)
+		for i := int32(0); i < m.NumRows; i++ {
+			got[i] = c.At(i, j)
+		}
+		if !approxEqual(got, want, 1e-5) {
+			t.Fatalf("SpMM column %d disagrees with SpMV", j)
+		}
+	}
+}
+
+func TestSpMMShapeErrors(t *testing.T) {
+	m := &sparse.CSR{NumRows: 2, NumCols: 3, RowOffsets: []int32{0, 0, 0}}
+	if err := SpMMCSR(m, NewDense(2, 4), NewDense(2, 4)); err == nil {
+		t.Fatal("B with wrong row count accepted")
+	}
+	if err := SpMMCSR(m, NewDense(3, 4), NewDense(3, 4)); err == nil {
+		t.Fatal("C with wrong shape accepted")
+	}
+}
+
+// TestReorderingPreservesSpMV is the paper's central correctness
+// requirement: reordering is a pre-processing optimization that must not
+// change kernel semantics. For any permutation P, SpMV(P·A·Pᵀ, P·x) must
+// equal P·SpMV(A, x).
+func TestReorderingPreservesSpMV(t *testing.T) {
+	m := gen.HubbyCommunities{Nodes: 600, Communities: 6, AvgDegree: 8, Mu: 0.3, Hubs: 20, HubDegree: 25}.Generate(5)
+	r := gen.NewRNG(6)
+	x := randomVec(r, m.NumCols)
+	base := DenseSpMVReference(m, x)
+
+	perms := map[string]sparse.Permutation{
+		"rabbit":   core.Rabbit(m).Perm,
+		"rabbit++": core.RabbitPlusPlus(m).Perm,
+		"random":   sparse.Permutation(gen.NewRNG(7).Perm(m.NumRows)),
+		"identity": sparse.Identity(m.NumRows),
+	}
+	for name, p := range perms {
+		t.Run(name, func(t *testing.T) {
+			pm := m.PermuteSymmetric(p)
+			px := p.PermuteVector(x)
+			py := make([]float32, pm.NumRows)
+			if err := SpMVCSR(pm, px, py); err != nil {
+				t.Fatal(err)
+			}
+			want := p.PermuteVector(base)
+			if !approxEqual(py, want, 1e-4) {
+				t.Fatal("reordering changed SpMV results")
+			}
+		})
+	}
+}
+
+func TestQuickSerialParallelAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := gen.ErdosRenyi{Nodes: 300, AvgDegree: 5}.Generate(seed)
+		x := randomVec(gen.NewRNG(seed), m.NumCols)
+		a := make([]float32, m.NumRows)
+		b := make([]float32, m.NumRows)
+		if SpMVCSR(m, x, a) != nil || SpMVCSRParallel(m, x, b) != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseAccessors(t *testing.T) {
+	d := NewDense(3, 4)
+	d.Set(1, 2, 7)
+	if d.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v", d.At(1, 2))
+	}
+	row := d.Row(1)
+	if len(row) != 4 || row[2] != 7 {
+		t.Fatalf("Row(1) = %v", row)
+	}
+}

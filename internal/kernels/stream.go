@@ -1,0 +1,89 @@
+package kernels
+
+import (
+	"time"
+)
+
+// StreamResult reports a BabelStream-style bandwidth measurement. The
+// paper uses BabelStream to find the A6000's achievable DRAM bandwidth
+// (672 GB/s of the 768 GB/s peak) and divides compulsory traffic by it to
+// obtain ideal run time (Section IV-B). MeasureStreamBandwidth applies the
+// same methodology to the host this code runs on, so host-side ideal run
+// times can be computed the same way.
+type StreamResult struct {
+	// CopyGBs, MulGBs, AddGBs, TriadGBs are the classic four kernels'
+	// sustained bandwidths in GB/s (best of the timed repetitions).
+	CopyGBs  float64
+	MulGBs   float64
+	AddGBs   float64
+	TriadGBs float64
+}
+
+// Best returns the highest sustained bandwidth across kernels, the number
+// BabelStream-style methodology quotes as achievable.
+func (r StreamResult) Best() float64 {
+	best := r.CopyGBs
+	for _, v := range []float64{r.MulGBs, r.AddGBs, r.TriadGBs} {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MeasureStreamBandwidth runs the four STREAM kernels over float32 arrays
+// of `elems` elements, `reps` times each, and reports the best sustained
+// bandwidth per kernel. Arrays should comfortably exceed the last-level
+// cache (64M elements = 256 MB is a safe default; pass 0 for it).
+func MeasureStreamBandwidth(elems int, reps int) StreamResult {
+	if elems <= 0 {
+		elems = 64 << 20
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	a := make([]float32, elems)
+	b := make([]float32, elems)
+	c := make([]float32, elems)
+	for i := range a {
+		a[i] = 1
+		b[i] = 2
+	}
+	const scalar = float32(0.4)
+	bytesMoved := func(arrays int) float64 { return float64(arrays) * float64(elems) * 4 }
+
+	best := func(arrays int, kernel func()) float64 {
+		var bw float64
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			kernel()
+			if s := time.Since(start).Seconds(); s > 0 {
+				if v := bytesMoved(arrays) / s / 1e9; v > bw {
+					bw = v
+				}
+			}
+		}
+		return bw
+	}
+
+	var res StreamResult
+	res.CopyGBs = best(2, func() {
+		copy(c, a)
+	})
+	res.MulGBs = best(2, func() {
+		for i := range b {
+			b[i] = scalar * c[i]
+		}
+	})
+	res.AddGBs = best(3, func() {
+		for i := range c {
+			c[i] = a[i] + b[i]
+		}
+	})
+	res.TriadGBs = best(3, func() {
+		for i := range a {
+			a[i] = b[i] + scalar*c[i]
+		}
+	})
+	return res
+}

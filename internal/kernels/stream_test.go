@@ -1,0 +1,49 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestMeasureStreamBandwidthSane(t *testing.T) {
+	// Tiny arrays keep the test fast; we only check plausibility, not the
+	// actual machine bandwidth.
+	r := MeasureStreamBandwidth(1<<20, 2)
+	for name, v := range map[string]float64{
+		"copy": r.CopyGBs, "mul": r.MulGBs, "add": r.AddGBs, "triad": r.TriadGBs,
+	} {
+		if v <= 0 || v > 10000 {
+			t.Fatalf("%s bandwidth %v GB/s implausible", name, v)
+		}
+	}
+	if r.Best() < r.CopyGBs || r.Best() < r.TriadGBs {
+		t.Fatal("Best() below a component bandwidth")
+	}
+}
+
+func TestSpMVCSCMatchesCSR(t *testing.T) {
+	m := gen.ErdosRenyi{Nodes: 400, AvgDegree: 6}.Generate(9)
+	r := gen.NewRNG(10)
+	x := randomVec(r, m.NumCols)
+	want := DenseSpMVReference(m, x)
+	csc := sparse.CSRToCSC(m)
+	y := make([]float32, m.NumRows)
+	if err := SpMVCSC(csc, x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(y, want, 1e-4) {
+		t.Fatal("CSC pull SpMV disagrees with reference")
+	}
+}
+
+func TestSpMVCSCShapeErrors(t *testing.T) {
+	csc := &sparse.CSC{NumRows: 2, NumCols: 3, ColOffsets: make([]int32, 4)}
+	if err := SpMVCSC(csc, make([]float32, 2), make([]float32, 2)); err == nil {
+		t.Fatal("wrong x length accepted")
+	}
+	if err := SpMVCSC(csc, make([]float32, 3), make([]float32, 3)); err == nil {
+		t.Fatal("wrong y length accepted")
+	}
+}

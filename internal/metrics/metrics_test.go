@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("Mean([1,2,3,4]) != 2.5")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("GeoMean([1,4]) != 2")
+	}
+	if !almost(GeoMean([]float64{8}), 8) {
+		t.Fatal("GeoMean([8]) != 8")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean of non-positive did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Max(xs) != 7 || Min(xs) != -1 {
+		t.Fatalf("Max/Min = %v/%v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty Max/Min != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("percentile endpoints wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("P50 = %v, want 3", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if !almost(Pearson(xs, ys), 1) {
+		t.Fatalf("perfect positive correlation = %v", Pearson(xs, ys))
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if !almost(Pearson(xs, neg), -1) {
+		t.Fatalf("perfect negative correlation = %v", Pearson(xs, neg))
+	}
+	if Pearson(xs, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Fatal("zero-variance correlation != 0")
+	}
+	if Pearson(xs, ys[:3]) != 0 {
+		t.Fatal("length mismatch should return 0")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(seed int64, raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / (1 << 53)
+		}
+		for i, r := range raw {
+			xs[i] = float64(r) + next()
+			ys[i] = next() * 100
+		}
+		p := Pearson(xs, ys)
+		return p >= -1-1e-9 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

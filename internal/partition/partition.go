@@ -1,0 +1,408 @@
+// Package partition implements a multilevel graph partitioner in the
+// style of METIS (Karypis & Kumar), which the paper lists among the
+// techniques RABBIT was shown to match or exceed and whose
+// partitioning-based orderings its insights should extend to
+// (Section VII). The classic three phases are all here:
+//
+//  1. Coarsening by heavy-edge matching until the graph is small,
+//  2. Initial bisection by greedy BFS region growing on the coarsest
+//     graph,
+//  3. Uncoarsening with boundary Kernighan–Lin-style refinement.
+//
+// Recursive bisection yields a k-way partition; ordering partitions
+// contiguously produces a locality-oriented matrix reordering
+// (reorder.Partition adapts it as a Technique).
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Options controls the multilevel process.
+type Options struct {
+	// Parts is the number of partitions (rounded up to a power of two by
+	// recursive bisection). 0 defaults to 64.
+	Parts int32
+	// CoarsestSize stops coarsening when the graph has at most this many
+	// vertices. 0 defaults to 256.
+	CoarsestSize int32
+	// RefinePasses bounds boundary refinement sweeps per level. 0
+	// defaults to 4.
+	RefinePasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parts <= 0 {
+		o.Parts = 64
+	}
+	if o.CoarsestSize <= 0 {
+		o.CoarsestSize = 256
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 4
+	}
+	return o
+}
+
+// graph is a weighted undirected adjacency structure used across levels.
+type graph struct {
+	n       int32
+	offsets []int32
+	nbr     []int32
+	w       []int32 // edge weights
+	vw      []int32 // vertex weights (coarse vertices aggregate)
+}
+
+func fromCSR(m *sparse.CSR) *graph {
+	sym := m.Symmetrize()
+	g := &graph{
+		n:       sym.NumRows,
+		offsets: make([]int32, sym.NumRows+1),
+		vw:      make([]int32, sym.NumRows),
+	}
+	for r := int32(0); r < sym.NumRows; r++ {
+		g.vw[r] = 1
+		cols, _ := sym.Row(r)
+		for _, c := range cols {
+			if c != r {
+				g.offsets[r+1]++
+			}
+		}
+	}
+	for i := int32(0); i < g.n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	g.nbr = make([]int32, g.offsets[g.n])
+	g.w = make([]int32, g.offsets[g.n])
+	cursor := make([]int32, g.n)
+	for r := int32(0); r < sym.NumRows; r++ {
+		cols, _ := sym.Row(r)
+		for _, c := range cols {
+			if c == r {
+				continue
+			}
+			dst := g.offsets[r] + cursor[r]
+			cursor[r]++
+			g.nbr[dst] = c
+			g.w[dst] = 1
+		}
+	}
+	return g
+}
+
+// Partition computes a k-way partition of the matrix's symmetrized graph
+// and returns one part label per vertex in [0, parts).
+func Partition(m *sparse.CSR, opts Options) []int32 {
+	opts = opts.withDefaults()
+	g := fromCSR(m)
+	part := make([]int32, g.n)
+	bisect(g, allVertices(g.n), 0, opts.Parts, part, opts)
+	return part
+}
+
+func allVertices(n int32) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+// bisect recursively splits the vertex subset, assigning final part labels
+// in [base, base+parts).
+func bisect(g *graph, subset []int32, base, parts int32, part []int32, opts Options) {
+	if parts <= 1 || int32(len(subset)) <= 1 {
+		for _, v := range subset {
+			part[v] = base
+		}
+		return
+	}
+	side := bipartition(g, subset, opts)
+	var left, right []int32
+	for i, v := range subset {
+		if side[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	half := parts / 2
+	bisect(g, left, base, half, part, opts)
+	bisect(g, right, base+half, parts-half, part, opts)
+}
+
+// bipartition splits one subset into two balanced halves using the
+// multilevel scheme; it returns a 0/1 side per subset position.
+func bipartition(g *graph, subset []int32, opts Options) []byte {
+	sub := induce(g, subset)
+	levels := []*coarseLevel{}
+	cur := sub
+	for cur.n > opts.CoarsestSize {
+		lvl := coarsen(cur)
+		if lvl.coarse.n >= cur.n {
+			break // matching made no progress (e.g. no edges)
+		}
+		levels = append(levels, lvl)
+		cur = lvl.coarse
+	}
+	side := growBisection(cur)
+	refine(cur, side, opts.RefinePasses)
+	for i := len(levels) - 1; i >= 0; i-- {
+		side = project(levels[i], side)
+		refine(levels[i].fine, side, opts.RefinePasses)
+	}
+	return side
+}
+
+// induce extracts the subgraph over the subset with renumbered vertices.
+func induce(g *graph, subset []int32) *graph {
+	remap := make(map[int32]int32, len(subset))
+	for i, v := range subset {
+		remap[v] = int32(i)
+	}
+	out := &graph{
+		n:       int32(len(subset)),
+		offsets: make([]int32, len(subset)+1),
+		vw:      make([]int32, len(subset)),
+	}
+	for i, v := range subset {
+		out.vw[i] = g.vw[v]
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			if _, ok := remap[g.nbr[e]]; ok {
+				out.offsets[i+1]++
+			}
+		}
+	}
+	for i := int32(0); i < out.n; i++ {
+		out.offsets[i+1] += out.offsets[i]
+	}
+	out.nbr = make([]int32, out.offsets[out.n])
+	out.w = make([]int32, out.offsets[out.n])
+	cursor := make([]int32, out.n)
+	for i, v := range subset {
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			if u, ok := remap[g.nbr[e]]; ok {
+				dst := out.offsets[i] + cursor[i]
+				cursor[i]++
+				out.nbr[dst] = u
+				out.w[dst] = g.w[e]
+			}
+		}
+	}
+	return out
+}
+
+// coarseLevel links a fine graph to its coarsened version.
+type coarseLevel struct {
+	fine   *graph
+	coarse *graph
+	// coarseOf maps fine vertices to coarse vertices.
+	coarseOf []int32
+}
+
+// coarsen performs heavy-edge matching: each unmatched vertex matches with
+// its heaviest-edge unmatched neighbor, and matched pairs collapse into
+// coarse vertices.
+func coarsen(g *graph) *coarseLevel {
+	match := make([]int32, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit in increasing degree order so low-degree vertices match first
+	// (the standard HEM heuristic for better matchings).
+	order := make([]int32, g.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da := g.offsets[order[a]+1] - g.offsets[order[a]]
+		db := g.offsets[order[b]+1] - g.offsets[order[b]]
+		return da < db
+	})
+	coarseOf := make([]int32, g.n)
+	var nc int32
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			u := g.nbr[e]
+			if u != v && match[u] == -1 && g.w[e] > bestW {
+				bestW = g.w[e]
+				best = u
+			}
+		}
+		if best == -1 {
+			match[v] = v
+			coarseOf[v] = nc
+			nc++
+			continue
+		}
+		match[v] = best
+		match[best] = v
+		coarseOf[v] = nc
+		coarseOf[best] = nc
+		nc++
+	}
+	// Build the coarse graph by aggregating edges.
+	coarse := &graph{
+		n:       nc,
+		offsets: make([]int32, nc+1),
+		vw:      make([]int32, nc),
+	}
+	for v := int32(0); v < g.n; v++ {
+		coarse.vw[coarseOf[v]] += g.vw[v]
+	}
+	maps := make([]map[int32]int32, nc)
+	for v := int32(0); v < g.n; v++ {
+		cv := coarseOf[v]
+		if maps[cv] == nil {
+			maps[cv] = make(map[int32]int32, 4)
+		}
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			cu := coarseOf[g.nbr[e]]
+			if cu != cv {
+				maps[cv][cu] += g.w[e]
+			}
+		}
+	}
+	for c := int32(0); c < nc; c++ {
+		coarse.offsets[c+1] = coarse.offsets[c] + int32(len(maps[c]))
+	}
+	coarse.nbr = make([]int32, coarse.offsets[nc])
+	coarse.w = make([]int32, coarse.offsets[nc])
+	for c := int32(0); c < nc; c++ {
+		keys := make([]int32, 0, len(maps[c]))
+		for u := range maps[c] {
+			keys = append(keys, u)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		i := coarse.offsets[c]
+		for _, u := range keys {
+			coarse.nbr[i] = u
+			coarse.w[i] = maps[c][u]
+			i++
+		}
+	}
+	return &coarseLevel{fine: g, coarse: coarse, coarseOf: coarseOf}
+}
+
+// growBisection seeds a BFS from vertex 0 of the coarsest graph and grows
+// side 0 until it holds half the total vertex weight.
+func growBisection(g *graph) []byte {
+	side := make([]byte, g.n)
+	for i := range side {
+		side[i] = 1
+	}
+	var total int64
+	for _, w := range g.vw {
+		total += int64(w)
+	}
+	var grown int64
+	queue := make([]int32, 0, g.n)
+	visited := make([]bool, g.n)
+	for start := int32(0); start < g.n && grown*2 < total; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for head := 0; head < len(queue) && grown*2 < total; head++ {
+			v := queue[head]
+			side[v] = 0
+			grown += int64(g.vw[v])
+			for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+				u := g.nbr[e]
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	return side
+}
+
+// project carries a coarse-side assignment back to the fine graph.
+func project(lvl *coarseLevel, coarseSide []byte) []byte {
+	side := make([]byte, lvl.fine.n)
+	for v := int32(0); v < lvl.fine.n; v++ {
+		side[v] = coarseSide[lvl.coarseOf[v]]
+	}
+	return side
+}
+
+// refine runs boundary Kernighan–Lin-style passes: vertices whose move to
+// the other side strictly reduces the cut (without unbalancing beyond 55%)
+// are moved greedily; a pass with no moves terminates early.
+func refine(g *graph, side []byte, passes int) {
+	var weight [2]int64
+	for v := int32(0); v < g.n; v++ {
+		weight[side[v]] += int64(g.vw[v])
+	}
+	total := weight[0] + weight[1]
+	maxSide := total*55/100 + 1
+	for pass := 0; pass < passes; pass++ {
+		moves := 0
+		for v := int32(0); v < g.n; v++ {
+			var internal, external int32
+			for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+				if side[g.nbr[e]] == side[v] {
+					internal += g.w[e]
+				} else {
+					external += g.w[e]
+				}
+			}
+			gain := external - internal
+			other := 1 - side[v]
+			if gain > 0 && weight[other]+int64(g.vw[v]) <= maxSide {
+				weight[side[v]] -= int64(g.vw[v])
+				weight[other] += int64(g.vw[v])
+				side[v] = other
+				moves++
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+// CutEdges counts the stored nonzeros of the matrix whose endpoints lie in
+// different parts — the partition quality metric.
+func CutEdges(m *sparse.CSR, part []int32) int64 {
+	var cut int64
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			if part[r] != part[c] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Order converts a partition into a matrix ordering: parts occupy
+// consecutive ID ranges in part order, with the original relative order
+// inside each part.
+func Order(part []int32, parts int32) sparse.Permutation {
+	counts := make([]int32, parts+1)
+	for _, p := range part {
+		counts[p+1]++
+	}
+	for i := int32(0); i < parts; i++ {
+		counts[i+1] += counts[i]
+	}
+	perm := make(sparse.Permutation, len(part))
+	cursor := make([]int32, parts)
+	for v, p := range part {
+		perm[v] = counts[p] + cursor[p]
+		cursor[p]++
+	}
+	return perm
+}

@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestPartitionLabelsInRange(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 2000, Communities: 16, AvgDegree: 8, Mu: 0.2}.Generate(1)
+	part := Partition(m, Options{Parts: 8})
+	if len(part) != int(m.NumRows) {
+		t.Fatalf("%d labels for %d rows", len(part), m.NumRows)
+	}
+	for v, p := range part {
+		if p < 0 || p >= 8 {
+			t.Fatalf("vertex %d has part %d outside [0,8)", v, p)
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	m := gen.Mesh2D{Width: 50, Height: 50}.Generate(2)
+	const parts = 4
+	part := Partition(m, Options{Parts: parts})
+	counts := make([]int, parts)
+	for _, p := range part {
+		counts[p]++
+	}
+	ideal := int(m.NumRows) / parts
+	for p, c := range counts {
+		if c < ideal/3 || c > ideal*3 {
+			t.Fatalf("part %d has %d vertices, ideal %d; partition is badly unbalanced (%v)", p, c, ideal, counts)
+		}
+	}
+}
+
+func TestPartitionCutBeatsRandomOnMesh(t *testing.T) {
+	m := gen.Mesh2D{Width: 48, Height: 48}.Generate(3)
+	part := Partition(m, Options{Parts: 8})
+	cut := CutEdges(m, part)
+	// Random 8-way assignment cuts ~7/8 of all edges.
+	r := gen.NewRNG(4)
+	random := make([]int32, m.NumRows)
+	for i := range random {
+		random[i] = r.Intn(8)
+	}
+	randomCut := CutEdges(m, random)
+	if cut*4 > randomCut {
+		t.Fatalf("multilevel cut %d vs random cut %d; want at least 4x better on a mesh", cut, randomCut)
+	}
+}
+
+func TestPartitionRecoverscommunities(t *testing.T) {
+	// On two bridged cliques, a 2-way partition must recover the cliques.
+	k := int32(24)
+	coo := sparse.NewCOO(2*k, 2*k, int(4*k*k))
+	for i := int32(0); i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			coo.AddSym(i, j, 1)
+			coo.AddSym(k+i, k+j, 1)
+		}
+	}
+	coo.AddSym(0, k, 1)
+	m := coo.ToCSR()
+	part := Partition(m, Options{Parts: 2, CoarsestSize: 8})
+	if CutEdges(m, part) > 2 {
+		t.Fatalf("cut %d edges of two bridged cliques; the bridge alone should be cut", CutEdges(m, part))
+	}
+}
+
+func TestOrderIsValidPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := gen.ErdosRenyi{Nodes: 300, AvgDegree: 5}.Generate(seed)
+		part := Partition(m, Options{Parts: 4, CoarsestSize: 32})
+		return Order(part, 4).IsValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderGroupsParts(t *testing.T) {
+	part := []int32{1, 0, 1, 0, 2}
+	perm := Order(part, 3)
+	// Part 0 = vertices 1,3 -> IDs 0,1; part 1 = 0,2 -> 2,3; part 2 = 4 -> 4.
+	want := sparse.Permutation{2, 0, 3, 1, 4}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("Order = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestPartitionDeterminism(t *testing.T) {
+	m := gen.RMAT{LogNodes: 10, AvgDegree: 6, A: 0.5, B: 0.2, C: 0.2, Symmetric: true}.Generate(5)
+	a := Partition(m, Options{Parts: 8})
+	b := Partition(m, Options{Parts: 8})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at vertex %d", i)
+		}
+	}
+}
+
+func TestPartitionHandlesEdgeCases(t *testing.T) {
+	empty := &sparse.CSR{NumRows: 10, NumCols: 10, RowOffsets: make([]int32, 11)}
+	part := Partition(empty, Options{Parts: 4})
+	for _, p := range part {
+		if p < 0 || p >= 4 {
+			t.Fatalf("empty-graph part %d out of range", p)
+		}
+	}
+	one := &sparse.CSR{NumRows: 1, NumCols: 1, RowOffsets: []int32{0, 0}}
+	if got := Partition(one, Options{Parts: 2}); len(got) != 1 {
+		t.Fatalf("singleton partition = %v", got)
+	}
+}
+
+func TestCutEdgesCounts(t *testing.T) {
+	coo := sparse.NewCOO(4, 4, 3)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 2, 1)
+	coo.Add(2, 3, 1)
+	m := coo.ToCSR()
+	part := []int32{0, 0, 1, 1}
+	if got := CutEdges(m, part); got != 1 {
+		t.Fatalf("CutEdges = %d, want 1 (only the 1-2 edge crosses)", got)
+	}
+}

@@ -1,0 +1,174 @@
+package quality
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+)
+
+func chain(n int32) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, int(2*n))
+	for i := int32(0); i+1 < n; i++ {
+		coo.AddSym(i, i+1, 1)
+	}
+	return coo.ToCSR()
+}
+
+func TestAverageEdgeDistanceChain(t *testing.T) {
+	m := chain(100)
+	id := sparse.Identity(100)
+	if got := AverageEdgeDistance(m, id); got != 1 {
+		t.Fatalf("chain identity distance = %v, want 1", got)
+	}
+	// Reversal preserves adjacency distances exactly.
+	rev := make(sparse.Permutation, 100)
+	for i := range rev {
+		rev[i] = int32(99 - i)
+	}
+	if got := AverageEdgeDistance(m, rev); got != 1 {
+		t.Fatalf("chain reversed distance = %v, want 1", got)
+	}
+	// A random order scatters edges widely.
+	rnd := reorder.Random{Seed: 1}.Order(m)
+	if got := AverageEdgeDistance(m, rnd); got < 10 {
+		t.Fatalf("chain random distance = %v, want large", got)
+	}
+}
+
+func TestGapProfileAndMean(t *testing.T) {
+	m := chain(64)
+	prof := GapProfile(m, sparse.Identity(64))
+	// All gaps are exactly 1 -> bucket Len64(1)=1.
+	var total int64
+	for b, c := range prof {
+		total += c
+		if c > 0 && b != 1 {
+			t.Fatalf("gap mass in bucket %d, want all in bucket 1", b)
+		}
+	}
+	if total != int64(m.NNZ()) {
+		t.Fatalf("profile covers %d of %d nonzeros", total, m.NNZ())
+	}
+	if got := MeanLog2Gap(prof); got != 1 {
+		t.Fatalf("MeanLog2Gap = %v, want 1", got)
+	}
+	if MeanLog2Gap(make([]int64, 34)) != 0 {
+		t.Fatal("empty profile mean should be 0")
+	}
+}
+
+func TestLinePackingPerfectAndScattered(t *testing.T) {
+	// Star: one row references the line-aligned columns 0..31. With 128B
+	// lines (32 elements) identity packs them into exactly 1 line; with
+	// 32B lines (8 elements) into exactly 4.
+	coo := sparse.NewCOO(64, 64, 32)
+	for c := int32(0); c < 32; c++ {
+		coo.Add(33, c, 1)
+	}
+	m := coo.ToCSR()
+	if got := LinePacking(m, sparse.Identity(64), 128); got != 1 {
+		t.Fatalf("contiguous star packing at 128B = %v, want 1", got)
+	}
+	if got := LinePacking(m, sparse.Identity(64), 32); got != 1 {
+		t.Fatalf("contiguous star packing at 32B = %v, want 1", got)
+	}
+	// Stride the 32 referenced columns to every other slot: they then span
+	// all 8 of the 8-element lines, exactly 2x the minimal 4.
+	spread := make(sparse.Permutation, 64)
+	for i := int32(0); i < 32; i++ {
+		spread[i] = 2 * i
+	}
+	for i := int32(32); i < 64; i++ {
+		spread[i] = 2*(i-32) + 1
+	}
+	if err := spread.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := LinePacking(m, spread, 32); got != 0.5 {
+		t.Fatalf("strided packing at 32B = %v, want 0.5", got)
+	}
+	rnd := reorder.Random{Seed: 3}.Order(m)
+	if got := LinePacking(m, rnd, 32); got >= 1 {
+		t.Fatalf("scattered packing = %v, want < 1", got)
+	}
+}
+
+func TestWindowedWorkingSetCommunityVsRandom(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 2048, Communities: 32, AvgDegree: 10, Mu: 0.05}.Generate(1)
+	rabbit := reorder.Rabbit{}.Order(m)
+	random := reorder.Random{Seed: 2}.Order(m)
+	wr := WindowedWorkingSet(m, rabbit, 64)
+	wrnd := WindowedWorkingSet(m, random, 64)
+	if wr*2 > wrnd {
+		t.Fatalf("rabbit working set %v vs random %v; community ordering must shrink the window footprint", wr, wrnd)
+	}
+}
+
+func TestMeasureSummary(t *testing.T) {
+	m := gen.Mesh2D{Width: 30, Height: 30}.Generate(2)
+	s := Measure(m, sparse.Identity(m.NumRows), 128, 32)
+	if s.AvgEdgeDistance <= 0 || s.LinePacking <= 0 || s.WorkingSet <= 0 {
+		t.Fatalf("summary has non-positive fields: %+v", s)
+	}
+	if s.LinePacking > 1.000001 {
+		t.Fatalf("packing %v exceeds 1", s.LinePacking)
+	}
+	if nw := s.NormalizedWorkingSet(m.NumRows); nw <= 0 || nw > 1 {
+		t.Fatalf("normalized working set %v out of (0,1]", nw)
+	}
+	if s.NormalizedWorkingSet(0) != 0 {
+		t.Fatal("zero-dimension normalization should be 0")
+	}
+}
+
+func TestEmptyMatrixMetrics(t *testing.T) {
+	m := &sparse.CSR{NumRows: 4, NumCols: 4, RowOffsets: make([]int32, 5)}
+	id := sparse.Identity(4)
+	if AverageEdgeDistance(m, id) != 0 {
+		t.Fatal("empty distance != 0")
+	}
+	if LinePacking(m, id, 128) != 1 {
+		t.Fatal("empty packing != 1")
+	}
+}
+
+func TestQuickPackingAndGapBounds(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		m := gen.ErdosRenyi{Nodes: 300, AvgDegree: 5}.Generate(seed)
+		p := reorder.Random{Seed: seed}.Order(m)
+		if pk := LinePacking(m, p, 128); pk <= 0 || pk > 1+1e-9 {
+			t.Fatalf("seed %d: LinePacking = %v out of (0,1]", seed, pk)
+		}
+		prof := GapProfile(m, p)
+		var total int64
+		for _, c := range prof {
+			total += c
+		}
+		if total != int64(m.NNZ()) {
+			t.Fatalf("seed %d: gap profile covers %d of %d nonzeros", seed, total, m.NNZ())
+		}
+		if g := MeanLog2Gap(prof); g < 0 || g > 34 {
+			t.Fatalf("seed %d: MeanLog2Gap = %v", seed, g)
+		}
+	}
+}
+
+func TestWorkingSetBounds(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 500, Communities: 5, AvgDegree: 6, Mu: 0.2}.Generate(9)
+	id := sparse.Identity(m.NumRows)
+	ws := WindowedWorkingSet(m, id, 50)
+	if ws <= 0 || ws > float64(m.NumRows) {
+		t.Fatalf("working set %v out of (0, N]", ws)
+	}
+	// Window of the whole matrix = total distinct referenced columns.
+	whole := WindowedWorkingSet(m, id, m.NumRows)
+	distinct := map[int32]bool{}
+	for _, c := range m.ColIndices {
+		distinct[c] = true
+	}
+	if whole != float64(len(distinct)) {
+		t.Fatalf("whole-matrix working set %v != distinct columns %d", whole, len(distinct))
+	}
+}

@@ -1,0 +1,72 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// adversarialMatrices are structural edge cases every technique must
+// survive: diagonal-only, one fully dense row/column, self-loop heavy,
+// disconnected stars, and a single strongly connected pair inside an
+// otherwise empty matrix.
+func adversarialMatrices() map[string]*sparse.CSR {
+	out := map[string]*sparse.CSR{}
+
+	diag := sparse.NewCOO(32, 32, 32)
+	for i := int32(0); i < 32; i++ {
+		diag.Add(i, i, 1)
+	}
+	out["diagonal-only"] = diag.ToCSR()
+
+	dense := sparse.NewCOO(64, 64, 130)
+	for c := int32(0); c < 64; c++ {
+		if c != 5 {
+			dense.AddSym(5, c, 1)
+		}
+	}
+	out["dense-row"] = dense.ToCSR()
+
+	loops := sparse.NewCOO(16, 16, 32)
+	for i := int32(0); i < 16; i++ {
+		loops.Add(i, i, 1)
+		loops.Add(i, (i+1)%16, 1)
+	}
+	out["self-loop-ring"] = loops.ToCSR()
+
+	stars := sparse.NewCOO(48, 48, 40)
+	for s := int32(0); s < 4; s++ {
+		hub := s * 12
+		for leaf := hub + 1; leaf < hub+12 && leaf < 48; leaf++ {
+			stars.AddSym(hub, leaf, 1)
+		}
+	}
+	out["disconnected-stars"] = stars.ToCSR()
+
+	pair := sparse.NewCOO(100, 100, 2)
+	pair.AddSym(40, 60, 1)
+	out["mostly-empty"] = pair.ToCSR()
+
+	return out
+}
+
+func TestTechniquesSurviveAdversarialMatrices(t *testing.T) {
+	for matName, m := range adversarialMatrices() {
+		for _, tech := range All() {
+			tech, m, matName := tech, m, matName
+			t.Run(matName+"/"+tech.Name(), func(t *testing.T) {
+				p := tech.Order(m)
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				pm := m.PermuteSymmetric(p)
+				if pm.NNZ() != m.NNZ() {
+					t.Fatal("nonzeros changed")
+				}
+				if err := pm.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

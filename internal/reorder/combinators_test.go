@@ -1,0 +1,103 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestChainComposesCorrectly(t *testing.T) {
+	m := testMatrix(20)
+	chain := Chain{DBG{}, HubGroup{}}
+	p := chain.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Applying the chained permutation at once must equal applying the
+	// stages one at a time.
+	direct := m.PermuteSymmetric(p)
+	p1 := DBG{}.Order(m)
+	step1 := m.PermuteSymmetric(p1)
+	p2 := HubGroup{}.Order(step1)
+	staged := step1.PermuteSymmetric(p2)
+	if !direct.Equal(staged) {
+		t.Fatal("Chain permutation differs from stage-by-stage application")
+	}
+	if chain.Name() != "DBG∘HUBGROUP" {
+		t.Fatalf("Chain name = %q", chain.Name())
+	}
+}
+
+func TestChainEmptyIsIdentity(t *testing.T) {
+	m := testMatrix(21)
+	if !(Chain{}).Order(m).IsIdentity() {
+		t.Fatal("empty chain must be the identity")
+	}
+}
+
+func TestPerComponentContiguousComponents(t *testing.T) {
+	// Two disconnected cliques of different sizes: the bigger component
+	// must occupy the first ID range, each component contiguous.
+	coo := sparse.NewCOO(20, 20, 100)
+	for i := int32(0); i < 12; i++ { // component A: vertices 0..11
+		for j := i + 1; j < 12; j++ {
+			coo.AddSym(i, j, 1)
+		}
+	}
+	for i := int32(12); i < 20; i++ { // component B: vertices 12..19
+		for j := i + 1; j < 20; j++ {
+			coo.AddSym(i, j, 1)
+		}
+	}
+	m := coo.ToCSR()
+	p := PerComponent{Inner: Original{}}.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 12; v++ {
+		if p[v] >= 12 {
+			t.Fatalf("large-component vertex %d got ID %d outside [0,12)", v, p[v])
+		}
+	}
+	for v := int32(12); v < 20; v++ {
+		if p[v] < 12 {
+			t.Fatalf("small-component vertex %d got ID %d inside the large component's range", v, p[v])
+		}
+	}
+}
+
+func TestPerComponentSingleComponentDelegates(t *testing.T) {
+	m := gen.Mesh2D{Width: 10, Height: 10}.Generate(1)
+	inner := DegSort{}
+	a := PerComponent{Inner: inner}.Order(m)
+	b := inner.Order(m)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("single-component PerComponent must match the inner technique exactly")
+		}
+	}
+}
+
+func TestPerComponentPreservesSemantics(t *testing.T) {
+	m := gen.KmerChain{Nodes: 500, ChainLen: 50, BranchProb: 0.1}.Generate(2)
+	p := PerComponent{Inner: RCM{}}.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := m.PermuteSymmetric(p).PermuteSymmetric(p.Inverse())
+	if !back.Equal(m) {
+		t.Fatal("PerComponent reordering is not invertible")
+	}
+}
+
+func TestConnectedComponentsOnChains(t *testing.T) {
+	m := gen.KmerChain{Nodes: 400, ChainLen: 100, BranchProb: 0}.Generate(3)
+	_, count := m.ConnectedComponents()
+	if count < 4 {
+		t.Fatalf("4 disjoint chains should yield >= 4 components, got %d", count)
+	}
+	if frac := m.LargestComponentFraction(); frac > 0.5 {
+		t.Fatalf("largest chain holds %.2f of vertices, want <= 0.5", frac)
+	}
+}

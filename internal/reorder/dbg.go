@@ -1,0 +1,96 @@
+package reorder
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// DBG implements Degree-Based Grouping (Faldu et al., IISWC'19): vertices
+// are binned by power-of-two in-degree ranges, bins are laid out in
+// decreasing degree order, and the original relative order is preserved
+// within each bin. Unlike DEGSORT's total reassignment, DBG packs
+// highly-referenced vertices together while retaining whatever locality the
+// original ordering already had.
+type DBG struct{}
+
+// Name implements Technique.
+func (DBG) Name() string { return "DBG" }
+
+// Order implements Technique.
+func (DBG) Order(m *sparse.CSR) sparse.Permutation {
+	inDeg := m.InDegrees()
+	// Bucket index: floor(log2(degree+1)); bucket 0 holds isolated
+	// vertices. 32 buckets cover any int32 degree.
+	const buckets = 32
+	var counts [buckets]int32
+	bucketOf := func(d int32) int {
+		return bits.Len32(uint32(d))
+	}
+	for _, d := range inDeg {
+		counts[bucketOf(d)]++
+	}
+	// Descending-degree bucket layout: highest bucket first.
+	var starts [buckets]int32
+	var cursor int32
+	for b := buckets - 1; b >= 0; b-- {
+		starts[b] = cursor
+		cursor += counts[b]
+	}
+	p := make(sparse.Permutation, m.NumRows)
+	var offsets [buckets]int32
+	for v := int32(0); v < m.NumRows; v++ {
+		b := bucketOf(inDeg[v])
+		p[v] = starts[b] + offsets[b]
+		offsets[b]++
+	}
+	return p
+}
+
+// HubSort packs hub vertices (in-degree above the average degree) first in
+// decreasing degree order and leaves the rest in original order — the
+// standalone hub-sorting baseline of Balaji & Lucia (IISWC'18).
+type HubSort struct{}
+
+// Name implements Technique.
+func (HubSort) Name() string { return "HUBSORT" }
+
+// Order implements Technique.
+func (HubSort) Order(m *sparse.CSR) sparse.Permutation {
+	inDeg := m.InDegrees()
+	avg := m.AverageDegree()
+	var hubs, rest []int32
+	for v := int32(0); v < m.NumRows; v++ {
+		if float64(inDeg[v]) > avg {
+			hubs = append(hubs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	sort.SliceStable(hubs, func(a, b int) bool { return inDeg[hubs[a]] > inDeg[hubs[b]] })
+	return sparse.FromNewOrder(append(hubs, rest...))
+}
+
+// HubGroup packs hub vertices first in their original relative order,
+// preserving pre-existing locality among the hubs — the standalone
+// hub-grouping baseline.
+type HubGroup struct{}
+
+// Name implements Technique.
+func (HubGroup) Name() string { return "HUBGROUP" }
+
+// Order implements Technique.
+func (HubGroup) Order(m *sparse.CSR) sparse.Permutation {
+	inDeg := m.InDegrees()
+	avg := m.AverageDegree()
+	var hubs, rest []int32
+	for v := int32(0); v < m.NumRows; v++ {
+		if float64(inDeg[v]) > avg {
+			hubs = append(hubs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	return sparse.FromNewOrder(append(hubs, rest...))
+}

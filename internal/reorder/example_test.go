@@ -1,0 +1,32 @@
+package reorder_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/quality"
+	"repro/internal/reorder"
+)
+
+// ExampleTechnique sweeps several techniques over one community graph and
+// ranks them by the windowed working-set estimate — the cache-footprint
+// intuition of the paper's Figure 1.
+func ExampleTechnique() {
+	m := gen.PlantedPartition{Nodes: 4096, Communities: 32, AvgDegree: 10, Mu: 0.1}.Generate(7)
+	for _, tech := range []reorder.Technique{
+		reorder.Random{Seed: 1},
+		reorder.DegSort{},
+		reorder.Rabbit{},
+	} {
+		p := tech.Order(m)
+		ws := quality.WindowedWorkingSet(m, p, 128)
+		fmt.Printf("%-8s working set per 128 rows: %.0f columns (of %d)\n", tech.Name(), ws, m.NumRows)
+	}
+	// The community ordering needs a fraction of the footprint the others
+	// do; exact numbers are deterministic for the fixed seed.
+
+	// Output:
+	// RANDOM   working set per 128 rows: 1066 columns (of 4096)
+	// DEGSORT  working set per 128 rows: 1054 columns (of 4096)
+	// RABBIT   working set per 128 rows: 336 columns (of 4096)
+}

@@ -1,0 +1,141 @@
+package reorder
+
+import (
+	"sort"
+
+	"repro/internal/community"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// PartitionOrder adapts the multilevel graph partitioner (internal/partition,
+// METIS-style) as a reordering technique: the k parts of a balanced
+// edge-cut partition receive consecutive ID ranges. The paper's related
+// work expects the insular/hub insights to extend to partitioning-based
+// reordering (Section VII); the ablation experiments compare it against
+// RABBIT directly.
+type PartitionOrder struct {
+	Parts int32 // 0 defaults to 64
+}
+
+// Name implements Technique.
+func (PartitionOrder) Name() string { return "PARTITION" }
+
+// Order implements Technique.
+func (p PartitionOrder) Order(m *sparse.CSR) sparse.Permutation {
+	parts := p.Parts
+	if parts <= 0 {
+		parts = 64
+	}
+	if parts > m.NumRows && m.NumRows > 0 {
+		parts = m.NumRows
+	}
+	if m.NumRows == 0 {
+		return sparse.Permutation{}
+	}
+	labels := partition.Partition(m, partition.Options{Parts: parts})
+	return partition.Order(labels, parts)
+}
+
+// LouvainOrder orders by Louvain community detection: communities receive
+// consecutive ID ranges (larger communities first), preserving the original
+// relative order within each community. It is the "other detector" ablation
+// against RABBIT's incremental aggregation.
+type LouvainOrder struct{}
+
+// Name implements Technique.
+func (LouvainOrder) Name() string { return "LOUVAIN" }
+
+// Order implements Technique.
+func (LouvainOrder) Order(m *sparse.CSR) sparse.Permutation {
+	a := community.Louvain(m.Symmetrize(), community.LouvainOptions{})
+	sizes := a.Sizes()
+	// Rank communities by descending size, ties by label, so big
+	// communities stream first.
+	rank := make([]int32, a.Count)
+	for i := range rank {
+		rank[i] = int32(i)
+	}
+	sort.SliceStable(rank, func(x, y int) bool { return sizes[rank[x]] > sizes[rank[y]] })
+	pos := make([]int32, a.Count)
+	var cursor int32
+	for _, c := range rank {
+		pos[c] = cursor
+		cursor += sizes[c]
+	}
+	perm := make(sparse.Permutation, m.NumRows)
+	fill := make([]int32, a.Count)
+	for v := int32(0); v < m.NumRows; v++ {
+		c := a.Of[v]
+		perm[v] = pos[c] + fill[c]
+		fill[c]++
+	}
+	return perm
+}
+
+// FrequencyClustering implements frequency-based clustering (Zhang et al.,
+// "Making Caches Work for Graph Analytics"): vertices with in-degree above
+// the average are sorted by descending degree at the front; the rest keep
+// their original order. It differs from HUBSORT only in using the mean
+// in-degree over *referenced* vertices; the paper groups it with the
+// degree-based techniques DBG was shown to beat.
+type FrequencyClustering struct{}
+
+// Name implements Technique.
+func (FrequencyClustering) Name() string { return "FBC" }
+
+// Order implements Technique.
+func (FrequencyClustering) Order(m *sparse.CSR) sparse.Permutation {
+	inDeg := m.InDegrees()
+	var referenced int64
+	var count int64
+	for _, d := range inDeg {
+		if d > 0 {
+			referenced += int64(d)
+			count++
+		}
+	}
+	avg := 0.0
+	if count > 0 {
+		avg = float64(referenced) / float64(count)
+	}
+	var hot, cold []int32
+	for v := int32(0); v < m.NumRows; v++ {
+		if float64(inDeg[v]) > avg {
+			hot = append(hot, v)
+		} else {
+			cold = append(cold, v)
+		}
+	}
+	sort.SliceStable(hot, func(a, b int) bool { return inDeg[hot[a]] > inDeg[hot[b]] })
+	return sparse.FromNewOrder(append(hot, cold...))
+}
+
+// HubCluster implements the HubCluster variant of Balaji & Lucia
+// (IISWC'18): hub vertices (in-degree above average) are *clustered* to the
+// front preserving original order — like HUBGROUP — but the cold region is
+// additionally packed so that vertices with zero in-degree sink to the very
+// end, keeping never-referenced rows out of the hot ID range entirely.
+type HubCluster struct{}
+
+// Name implements Technique.
+func (HubCluster) Name() string { return "HUBCLUSTER" }
+
+// Order implements Technique.
+func (HubCluster) Order(m *sparse.CSR) sparse.Permutation {
+	inDeg := m.InDegrees()
+	avg := m.AverageDegree()
+	var hubs, warm, dead []int32
+	for v := int32(0); v < m.NumRows; v++ {
+		switch {
+		case float64(inDeg[v]) > avg:
+			hubs = append(hubs, v)
+		case inDeg[v] > 0:
+			warm = append(warm, v)
+		default:
+			dead = append(dead, v)
+		}
+	}
+	order := append(hubs, warm...)
+	return sparse.FromNewOrder(append(order, dead...))
+}

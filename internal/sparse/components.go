@@ -1,0 +1,66 @@
+package sparse
+
+// ConnectedComponents labels the weakly connected components of the
+// matrix's pattern (edges are treated as undirected). It returns one label
+// per row in [0, count) and the component count. Isolated vertices get
+// their own components.
+func (m *CSR) ConnectedComponents() ([]int32, int32) {
+	if !m.IsSquare() {
+		panic("sparse: ConnectedComponents requires a square matrix")
+	}
+	n := m.NumRows
+	label := make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	// Weak connectivity needs both directions; build the transpose once.
+	t := m.Transpose()
+	var count int32
+	queue := make([]int32, 0, 1024)
+	for start := int32(0); start < n; start++ {
+		if label[start] != -1 {
+			continue
+		}
+		label[start] = count
+		queue = append(queue[:0], start)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			cols, _ := m.Row(u)
+			for _, v := range cols {
+				if label[v] == -1 {
+					label[v] = count
+					queue = append(queue, v)
+				}
+			}
+			ins, _ := t.Row(u)
+			for _, v := range ins {
+				if label[v] == -1 {
+					label[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// LargestComponentFraction returns the share of rows in the largest weakly
+// connected component.
+func (m *CSR) LargestComponentFraction() float64 {
+	if m.NumRows == 0 {
+		return 0
+	}
+	label, count := m.ConnectedComponents()
+	sizes := make([]int32, count)
+	for _, l := range label {
+		sizes[l]++
+	}
+	var max int32
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(m.NumRows)
+}

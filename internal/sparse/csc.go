@@ -1,0 +1,59 @@
+package sparse
+
+// CSC is a sparse matrix in Compressed Sparse Column format: the exact
+// transpose layout of CSR. Pull-style kernels (accumulating each output
+// element from a column sweep) and column-slicing operations use it.
+type CSC struct {
+	NumRows    int32
+	NumCols    int32
+	ColOffsets []int32
+	RowIndices []int32
+	Values     []float32
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.RowIndices) }
+
+// Col returns the row indices and values of column c as storage
+// sub-slices; the caller must not modify them.
+func (m *CSC) Col(c int32) ([]int32, []float32) {
+	lo, hi := m.ColOffsets[c], m.ColOffsets[c+1]
+	return m.RowIndices[lo:hi], m.Values[lo:hi]
+}
+
+// CSRToCSC converts a CSR matrix to CSC. Row indices within each column
+// come out sorted.
+func CSRToCSC(m *CSR) *CSC {
+	t := m.Transpose()
+	return &CSC{
+		NumRows:    m.NumRows,
+		NumCols:    m.NumCols,
+		ColOffsets: t.RowOffsets,
+		RowIndices: t.ColIndices,
+		Values:     t.Values,
+	}
+}
+
+// ToCSR converts back to CSR.
+func (m *CSC) ToCSR() *CSR {
+	asCSR := &CSR{
+		NumRows:    m.NumCols,
+		NumCols:    m.NumRows,
+		RowOffsets: m.ColOffsets,
+		ColIndices: m.RowIndices,
+		Values:     m.Values,
+	}
+	return asCSR.Transpose()
+}
+
+// Validate checks the structural invariants of the CSC format.
+func (m *CSC) Validate() error {
+	asCSR := &CSR{
+		NumRows:    m.NumCols,
+		NumCols:    m.NumRows,
+		RowOffsets: m.ColOffsets,
+		ColIndices: m.RowIndices,
+		Values:     m.Values,
+	}
+	return asCSR.Validate()
+}

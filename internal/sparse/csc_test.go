@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCSRToCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		m := randomCSR(t, rng, 60+rng.Int31n(40), 1+rng.Intn(5))
+		csc := CSRToCSC(m)
+		if err := csc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if csc.NNZ() != m.NNZ() {
+			t.Fatalf("CSC nnz %d != CSR nnz %d", csc.NNZ(), m.NNZ())
+		}
+		back := csc.ToCSR()
+		if !m.Equal(back) {
+			t.Fatal("CSR -> CSC -> CSR round trip changed the matrix")
+		}
+	}
+}
+
+func TestCSCColumnAccess(t *testing.T) {
+	coo := NewCOO(3, 4, 4)
+	coo.Add(0, 1, 5)
+	coo.Add(2, 1, 7)
+	coo.Add(1, 3, 2)
+	coo.Add(0, 0, 1)
+	csc := CSRToCSC(coo.ToCSR())
+	rows, vals := csc.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[0] != 5 || vals[1] != 7 {
+		t.Fatalf("Col(1) = %v/%v", rows, vals)
+	}
+	if rows, _ := csc.Col(2); len(rows) != 0 {
+		t.Fatalf("empty column returned %v", rows)
+	}
+}
+
+func TestCSCValidateCatchesCorruption(t *testing.T) {
+	csc := CSRToCSC(randomCSR(t, rand.New(rand.NewSource(5)), 20, 3))
+	csc.RowIndices[0] = 99
+	if csc.Validate() == nil {
+		t.Fatal("row index out of range accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadMatrixMarketNeverPanics feeds the reader adversarial inputs: it
+// must return errors, never panic, and never return an invalid matrix.
+func TestReadMatrixMarketNeverPanics(t *testing.T) {
+	f := func(junk []byte) bool {
+		m, err := ReadMatrixMarket(strings.NewReader(string(junk)))
+		if err != nil {
+			return true
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadMatrixMarketHeaderPrefixAttacks(t *testing.T) {
+	// Valid-looking prefixes followed by garbage bodies.
+	prefixes := []string{
+		"%%MatrixMarket matrix coordinate real general\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n",
+	}
+	bodies := []string{
+		"", "x y z\n", "-1 -1 -1\n", "1\n", "999999999999999999999 1 1\n1 1 1\n",
+		"2 2 1\n1 1 not-a-number\n", "2 2 2\n1 1 1\n", "0 0 1\n1 1 1\n",
+	}
+	for _, p := range prefixes {
+		for _, b := range bodies {
+			m, err := ReadMatrixMarket(strings.NewReader(p + b))
+			if err == nil && m.Validate() != nil {
+				t.Fatalf("input %q produced an invalid matrix without error", p+b)
+			}
+		}
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real general\n-3 -3 1\n1 1 1.0\n"
+	if m, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+		if err := m.Validate(); err == nil && m.NumRows < 0 {
+			t.Fatal("negative-dimension matrix accepted as valid")
+		}
+	}
+}

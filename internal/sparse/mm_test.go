@@ -1,0 +1,88 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomCSR(t, rng, 60, 4)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.EqualPattern(back) {
+		t.Fatal("MatrixMarket round trip changed the pattern")
+	}
+	for i := range m.Values {
+		diff := m.Values[i] - back.Values[i]
+		if diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("value %d drifted: %v -> %v", i, m.Values[i], back.Values[i])
+		}
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 1 {
+		t.Fatalf("row 0 = %v/%v, want pattern entry (0,1)=1", cols, vals)
+	}
+}
+
+func TestMatrixMarketSymmetricExpansion(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 5.0
+3 3 7.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,0) mirrors to (0,1); (2,2) is diagonal and stays single.
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 after symmetric expansion", m.NNZ())
+	}
+	if !m.IsSymmetric() {
+		t.Fatal("expanded symmetric matrix is not symmetric")
+	}
+}
+
+func TestMatrixMarketRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "%%NotMatrixMarket\n1 1 0\n",
+		"bad format":     "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad value type": "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"short entry":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"truncated":      "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"out of range":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+				t.Fatal("malformed input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package sparse
+
+import "fmt"
+
+// Permutation maps old vertex/row IDs to new IDs: p[old] = new. A valid
+// permutation of size n is a bijection on [0, n).
+type Permutation []int32
+
+// Identity returns the identity permutation of size n.
+func Identity(n int32) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// Validate returns an error unless p is a bijection on [0, len(p)).
+func (p Permutation) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || int(v) >= len(p) {
+			return fmt.Errorf("sparse: permutation entry %d = %d out of range [0,%d)", i, v, len(p))
+		}
+		if seen[v] {
+			return fmt.Errorf("sparse: permutation value %d appears more than once", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// IsValid reports whether p is a bijection on [0, len(p)).
+func (p Permutation) IsValid() bool { return p.Validate() == nil }
+
+// Inverse returns the inverse permutation q with q[p[i]] = i.
+func (p Permutation) Inverse() Permutation {
+	q := make(Permutation, len(p))
+	for i, v := range p {
+		q[v] = int32(i)
+	}
+	return q
+}
+
+// Compose returns the permutation that applies p first and then q:
+// result[i] = q[p[i]].
+func (p Permutation) Compose(q Permutation) Permutation {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("sparse: composing permutations of size %d and %d", len(p), len(q)))
+	}
+	r := make(Permutation, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// IsIdentity reports whether p maps every element to itself.
+func (p Permutation) IsIdentity() bool {
+	for i, v := range p {
+		if int(v) != i {
+			return false
+		}
+	}
+	return true
+}
+
+// PermuteVector returns the vector x rearranged so that result[p[i]] = x[i].
+// This is the companion of CSR.PermuteSymmetric: SpMV on the permuted matrix
+// with the permuted input vector yields the permuted output vector.
+func (p Permutation) PermuteVector(x []float32) []float32 {
+	if len(p) != len(x) {
+		panic(fmt.Sprintf("sparse: permutation size %d for vector of size %d", len(p), len(x)))
+	}
+	y := make([]float32, len(x))
+	for i, v := range p {
+		y[v] = x[i]
+	}
+	return y
+}
+
+// FromNewOrder builds a Permutation from a listing of old IDs in their new
+// order: order[k] is the old ID that receives new ID k. This is the natural
+// output shape of traversal-based reordering algorithms (BFS orders,
+// dendrogram DFS orders), which emit vertices in their final sequence.
+func FromNewOrder(order []int32) Permutation {
+	p := make(Permutation, len(order))
+	for newID, oldID := range order {
+		p[oldID] = int32(newID)
+	}
+	return p
+}

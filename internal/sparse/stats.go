@@ -1,0 +1,172 @@
+package sparse
+
+import "sort"
+
+// Degrees returns the out-degree (row length) of every row.
+func (m *CSR) Degrees() []int32 {
+	d := make([]int32, m.NumRows)
+	for r := int32(0); r < m.NumRows; r++ {
+		d[r] = m.RowLen(r)
+	}
+	return d
+}
+
+// InDegrees returns the in-degree (column count) of every column.
+func (m *CSR) InDegrees() []int32 {
+	d := make([]int32, m.NumCols)
+	for _, c := range m.ColIndices {
+		d[c]++
+	}
+	return d
+}
+
+// AverageDegree returns nnz / rows, the mean row length. It returns 0 for an
+// empty matrix.
+func (m *CSR) AverageDegree() float64 {
+	if m.NumRows == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / float64(m.NumRows)
+}
+
+// EmptyRows returns the number of rows with no nonzeros. The paper notes
+// (footnote 2) that matrices like wiki-Talk with many empty rows cause the
+// analytic compulsory-traffic formula to overestimate ideal traffic.
+func (m *CSR) EmptyRows() int32 {
+	var n int32
+	for r := int32(0); r < m.NumRows; r++ {
+		if m.RowLen(r) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Bandwidth returns the matrix bandwidth: the maximum |i-j| over stored
+// entries. Bandwidth-reducing orderings such as RCM minimize this quantity.
+func (m *CSR) Bandwidth() int32 {
+	var bw int32
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			d := c - r
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}
+
+// DegreeSkew returns the fraction of nonzeros belonging to the top `frac`
+// most connected rows (by in-degree, matching the paper's use of in-degrees
+// for push-style kernels). The paper defines skew with frac = 0.10: "the
+// percentage of non-zeros connected to the top 10% most connected rows"
+// (Section V-B). High skew indicates strong power-law behaviour.
+func (m *CSR) DegreeSkew(frac float64) float64 {
+	if m.NNZ() == 0 || m.NumCols == 0 {
+		return 0
+	}
+	deg := m.InDegrees()
+	sorted := make([]int32, len(deg))
+	copy(sorted, deg)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	k := int(float64(len(sorted)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	var top int64
+	for _, d := range sorted[:k] {
+		top += int64(d)
+	}
+	return float64(top) / float64(m.NNZ())
+}
+
+// DegreeDistribution returns a histogram of row lengths: result[d] is the
+// number of rows with exactly d nonzeros, up to the maximum degree.
+func (m *CSR) DegreeDistribution() []int64 {
+	var maxd int32
+	for r := int32(0); r < m.NumRows; r++ {
+		if l := m.RowLen(r); l > maxd {
+			maxd = l
+		}
+	}
+	h := make([]int64, maxd+1)
+	for r := int32(0); r < m.NumRows; r++ {
+		h[m.RowLen(r)]++
+	}
+	return h
+}
+
+// MaskRowsCols returns a copy of the matrix keeping only the nonzeros
+// (i, j) for which keep(i) || keep(j) holds; every other entry is dropped.
+// The matrix shape is unchanged. The paper uses this to evaluate the
+// "insular sub-matrix" (Figure 6): all nonzeros that do not connect to
+// insular nodes are masked out.
+func (m *CSR) MaskRowsCols(keep []bool) *CSR {
+	if len(keep) != int(m.NumRows) || !m.IsSquare() {
+		panic("sparse: MaskRowsCols requires a square matrix and one flag per row")
+	}
+	out := &CSR{
+		NumRows:    m.NumRows,
+		NumCols:    m.NumCols,
+		RowOffsets: make([]int32, int(m.NumRows)+1),
+	}
+	for r := int32(0); r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			if keep[r] || keep[c] {
+				out.ColIndices = append(out.ColIndices, c)
+				out.Values = append(out.Values, vals[k])
+			}
+		}
+		out.RowOffsets[r+1] = int32(len(out.ColIndices))
+	}
+	return out
+}
+
+// CompactEmpty returns a copy of the matrix with empty rows and the
+// corresponding columns removed, along with the mapping from old to new IDs
+// (-1 for removed IDs). Only rows that are empty in both the matrix and its
+// transpose (no in- or out-edges) are removed, so square structure is
+// preserved.
+func (m *CSR) CompactEmpty() (*CSR, []int32) {
+	if !m.IsSquare() {
+		panic("sparse: CompactEmpty requires a square matrix")
+	}
+	in := m.InDegrees()
+	remap := make([]int32, m.NumRows)
+	var next int32
+	for r := int32(0); r < m.NumRows; r++ {
+		if m.RowLen(r) == 0 && in[r] == 0 {
+			remap[r] = -1
+			continue
+		}
+		remap[r] = next
+		next++
+	}
+	out := &CSR{
+		NumRows:    next,
+		NumCols:    next,
+		RowOffsets: make([]int32, int(next)+1),
+		ColIndices: make([]int32, 0, m.NNZ()),
+		Values:     make([]float32, 0, m.NNZ()),
+	}
+	var nr int32
+	for r := int32(0); r < m.NumRows; r++ {
+		if remap[r] < 0 {
+			continue
+		}
+		cols, vals := m.Row(r)
+		for k, c := range cols {
+			out.ColIndices = append(out.ColIndices, remap[c])
+			out.Values = append(out.Values, vals[k])
+		}
+		nr++
+		out.RowOffsets[nr] = int32(len(out.ColIndices))
+	}
+	return out, remap
+}

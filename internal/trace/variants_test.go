@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+)
+
+func TestInterleavedSameFootprint(t *testing.T) {
+	// Interleaving reorders the stream but touches exactly the same lines.
+	m := gen.PlantedPartition{Nodes: 2000, Communities: 20, AvgDegree: 8, Mu: 0.2}.Generate(1)
+	serial := distinct(collect(SpMVCSR(m, 128)))
+	for _, groups := range []int32{1, 4, 32} {
+		inter := distinct(collect(SpMVCSRInterleaved(m, 128, groups)))
+		if len(inter) != len(serial) {
+			t.Fatalf("groups=%d: footprint %d lines vs serial %d", groups, len(inter), len(serial))
+		}
+		for l := range serial {
+			if !inter[l] {
+				t.Fatalf("groups=%d: line %d missing from interleaved trace", groups, l)
+			}
+		}
+	}
+}
+
+func TestInterleavedOneGroupMatchesSerialMisses(t *testing.T) {
+	m := gen.ErdosRenyi{Nodes: 1500, AvgDegree: 6}.Generate(2)
+	cfg := cachesim.Config{CapacityBytes: 32 << 10, LineBytes: 128, Ways: 16}
+	serial := cachesim.SimulateLRU(cfg, SpMVCSR(m, 128))
+	one := cachesim.SimulateLRU(cfg, SpMVCSRInterleaved(m, 128, 1))
+	if serial.Misses != one.Misses || serial.Accesses != one.Accesses {
+		t.Fatalf("1-group interleaved (%d misses/%d accesses) differs from serial (%d/%d)",
+			one.Misses, one.Accesses, serial.Misses, serial.Accesses)
+	}
+}
+
+func TestInterleavedPreservesOrderingAdvantage(t *testing.T) {
+	// The paper's conclusion must be robust to interleaving: a community
+	// ordering still beats a scrambled one under a 32-group mixed stream.
+	m := gen.PlantedPartition{Nodes: 8192, Communities: 64, AvgDegree: 12, Mu: 0.1}.Generate(3)
+	cfg := cachesim.Config{CapacityBytes: 32 << 10, LineBytes: 128, Ways: 16}
+	// m is generated scrambled; a BFS-ish cluster order is approximated by
+	// sorting via community detection is out of scope here — instead
+	// compare the scrambled matrix against itself with more cache: the
+	// ordering-level check lives in the experiments tests. Here we check
+	// monotonicity: more groups must not change the footprint, and misses
+	// stay within sane bounds.
+	s1 := cachesim.SimulateLRU(cfg, SpMVCSRInterleaved(m, 128, 1))
+	s32 := cachesim.SimulateLRU(cfg, SpMVCSRInterleaved(m, 128, 32))
+	if s32.Compulsory != s1.Compulsory {
+		t.Fatalf("compulsory misses changed with interleaving: %d vs %d", s32.Compulsory, s1.Compulsory)
+	}
+	if s32.Misses < s32.Compulsory {
+		t.Fatal("misses below compulsory")
+	}
+}
+
+func TestTiledBoundsIrregularFootprint(t *testing.T) {
+	// With tiles no wider than the cache, the irregular accesses of each
+	// pass fit; tiled traffic on a scrambled matrix must be well below the
+	// untiled traffic, at the cost of more accesses.
+	m := gen.ErdosRenyi{Nodes: 16384, AvgDegree: 8}.Generate(4)
+	cfg := cachesim.Config{CapacityBytes: 32 << 10, LineBytes: 128, Ways: 16}
+	untiled := cachesim.SimulateLRU(cfg, SpMVCSR(m, 128))
+	tiled := cachesim.SimulateLRU(cfg, SpMVCSRTiled(m, 128, 4096)) // 16KB tile slice
+	if tiled.Misses >= untiled.Misses {
+		t.Fatalf("tiled misses %d not below untiled %d on a scrambled matrix", tiled.Misses, untiled.Misses)
+	}
+}
+
+func TestTiledSingleTileMatchesUntiledFootprint(t *testing.T) {
+	m := gen.ErdosRenyi{Nodes: 1000, AvgDegree: 5}.Generate(5)
+	whole := distinct(collect(SpMVCSRTiled(m, 128, m.NumCols)))
+	serial := distinct(collect(SpMVCSR(m, 128)))
+	// A single tile covering all columns touches the same X/Y/coords/vals
+	// lines (rowOffsets lines may differ slightly for all-empty tails).
+	for l := range serial {
+		if !whole[l] {
+			t.Fatalf("line %d missing from single-tile trace", l)
+		}
+	}
+}
+
+func TestTiledHandlesDegenerate(t *testing.T) {
+	empty := &gen.Mesh2D{Width: 2, Height: 2}
+	m := empty.Generate(6)
+	if got := collect(SpMVCSRTiled(m, 128, 0)); len(got) == 0 {
+		t.Fatal("tileCols=0 should default to full width, not empty trace")
+	}
+}
+
+func TestSpMVCSCIrregularYAccesses(t *testing.T) {
+	m := gen.ErdosRenyi{Nodes: 300, AvgDegree: 5}.Generate(7)
+	lines := collect(SpMVCSC(m, 128))
+	if len(lines) == 0 {
+		t.Fatal("empty CSC trace")
+	}
+	// One irregular Y access per nonzero: Y occupies the first region of
+	// the layout.
+	tr := m.Transpose()
+	l := NewLayout(int64(tr.NumRows), int64(tr.NNZ()), 1, 128)
+	var yAccesses int
+	for _, ln := range lines {
+		if ln >= l.Y/128 && ln < l.RowOff/128 {
+			yAccesses++
+		}
+	}
+	if yAccesses != m.NNZ() {
+		t.Fatalf("Y accesses = %d, want one per nonzero = %d", yAccesses, m.NNZ())
+	}
+}
+
+func TestSpMVCSCSameCompulsoryAsCSR(t *testing.T) {
+	// Push and pull SpMV move the same arrays once at minimum: the
+	// distinct-line footprints are equal up to alignment effects on
+	// fully-referenced matrices.
+	m := gen.PlantedPartition{Nodes: 1000, Communities: 10, AvgDegree: 8, Mu: 0.2}.Generate(8)
+	csr := len(distinct(collect(SpMVCSR(m, 128))))
+	csc := len(distinct(collect(SpMVCSC(m, 128))))
+	diff := csr - csc
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > csr/10 {
+		t.Fatalf("CSC footprint %d far from CSR footprint %d", csc, csr)
+	}
+}
+
+func TestInterleavedDeterminism(t *testing.T) {
+	m := gen.ErdosRenyi{Nodes: 800, AvgDegree: 5}.Generate(9)
+	a := collect(SpMVCSRInterleaved(m, 128, 16))
+	b := collect(SpMVCSRInterleaved(m, 128, 16))
+	if len(a) != len(b) {
+		t.Fatal("interleaved trace length nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleaved trace diverges at %d", i)
+		}
+	}
+}
