@@ -120,3 +120,43 @@ func TestCLIErrors(t *testing.T) {
 		t.Fatal("garbage matrix accepted")
 	}
 }
+
+// TestCLITruncatedInput feeds reorder and spmv a MatrixMarket file whose
+// header declares more entries than the file holds; both must exit non-zero
+// with a diagnostic naming the truncated entry, not panic.
+func TestCLITruncatedInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	reorderBin := buildTool(t, dir, "reorder")
+	spmvBin := buildTool(t, dir, "spmv")
+
+	truncated := filepath.Join(dir, "truncated.mtx")
+	content := "%%MatrixMarket matrix coordinate real general\n4 4 5\n1 2 1.0\n2 3 1.0\n"
+	if err := os.WriteFile(truncated, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		cmd  *exec.Cmd
+	}{
+		{"reorder", exec.Command(reorderBin, "-in", truncated, "-out", filepath.Join(dir, "o.mtx"))},
+		{"spmv", exec.Command(spmvBin, "-in", truncated)},
+	} {
+		out, err := tc.cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s accepted a truncated file:\n%s", tc.name, out)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%s did not run: %v", tc.name, err)
+		}
+		if !strings.Contains(string(out), "entry") || !strings.Contains(string(out), "truncated.mtx") {
+			t.Fatalf("%s diagnostic should name the file and failing entry, got:\n%s", tc.name, out)
+		}
+		if strings.Contains(string(out), "panic") {
+			t.Fatalf("%s panicked on truncated input:\n%s", tc.name, out)
+		}
+	}
+}

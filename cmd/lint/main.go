@@ -1,0 +1,81 @@
+// Command lint is the repository's multichecker: it runs the custom
+// go/analysis-style passes in tools/analyzers (mapiter, floatcmp,
+// uncheckedcast, permreturn) over the given package patterns and exits
+// non-zero when any finding survives.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...
+//	go run ./cmd/lint -list
+//	go run ./cmd/lint -run mapiter,floatcmp ./internal/...
+//
+// Findings can be suppressed line by line with a
+// `//lint:allow <analyzer> <reason>` comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/tools/analyzers"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(2)
+	}
+}
+
+func run() error {
+	var (
+		list = flag.Bool("list", false, "list available analyzers and exit")
+		only = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Parse()
+
+	all := analyzers.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	selected := all
+	if *only != "" {
+		byName := map[string]*analyzers.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown analyzer %q (try -list)", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns)
+	if err != nil {
+		return err
+	}
+	diags := analyzers.RunAll(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Printf("lint: %d packages, %d analyzers, 0 findings\n", len(pkgs), len(selected))
+	return nil
+}

@@ -56,7 +56,7 @@ func run() error {
 	m, err := sparse.ReadMatrixMarket(bufio.NewReader(f))
 	f.Close()
 	if err != nil {
-		return err
+		return fmt.Errorf("reading %s: %w", *in, err)
 	}
 	if !m.IsSquare() {
 		return fmt.Errorf("%s: reordering requires a square matrix, got %dx%d", *in, m.NumRows, m.NumCols)

@@ -45,7 +45,7 @@ func run() error {
 	m, err := sparse.ReadMatrixMarket(bufio.NewReader(f))
 	f.Close()
 	if err != nil {
-		return err
+		return fmt.Errorf("reading %s: %w", *in, err)
 	}
 
 	rng := gen.NewRNG(1)

@@ -91,6 +91,7 @@ func SimulateBelady(cfg Config, trace []int64) Stats {
 			stats.DeadFills++
 		}
 	}
+	assertCoherent(stats)
 	return stats
 }
 

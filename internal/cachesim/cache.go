@@ -6,7 +6,24 @@
 // "dead lines" — lines filled but never reused (Table III).
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// assertCoherent verifies the accounting identities every simulation must
+// satisfy (active only under the check build tag).
+func assertCoherent(s Stats) {
+	check.Assert(s.Hits+s.Misses == s.Accesses,
+		"cachesim: hits %d + misses %d != accesses %d", s.Hits, s.Misses, s.Accesses)
+	check.Assert(s.Compulsory <= s.Misses,
+		"cachesim: compulsory %d exceeds misses %d", s.Compulsory, s.Misses)
+	check.Assert(s.Evictions <= s.Misses,
+		"cachesim: evictions %d exceed misses %d", s.Evictions, s.Misses)
+	check.Assert(s.DeadFills <= s.Misses,
+		"cachesim: dead fills %d exceed misses %d", s.DeadFills, s.Misses)
+}
 
 // Config describes a cache geometry. CapacityBytes must be a multiple of
 // LineBytes*Ways so the set count is integral; any positive set count is
@@ -173,6 +190,7 @@ func (c *LRU) Finalize() Stats {
 			s.DeadFills++
 		}
 	}
+	assertCoherent(s)
 	return s
 }
 

@@ -1,0 +1,34 @@
+//go:build check
+
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Enabled reports whether the check build tag is active: assertions validate
+// and panic instead of compiling to no-ops.
+const Enabled = true
+
+// Assert panics with the formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic("check: assertion failed: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// AssertPermutation panics unless p is a bijection on [0, len(p)).
+func AssertPermutation(p sparse.Permutation) {
+	if err := ValidPermutation(p); err != nil {
+		panic(err)
+	}
+}
+
+// AssertCSR panics unless m satisfies the CSR structural contract.
+func AssertCSR(m *sparse.CSR) {
+	if err := ValidCSR(m); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,18 @@
+//go:build !check
+
+package check
+
+import "repro/internal/sparse"
+
+// Enabled reports whether the check build tag is active: assertions validate
+// and panic instead of compiling to no-ops.
+const Enabled = false
+
+// Assert is a no-op without the check build tag.
+func Assert(cond bool, format string, args ...any) {}
+
+// AssertPermutation is a no-op without the check build tag.
+func AssertPermutation(p sparse.Permutation) {}
+
+// AssertCSR is a no-op without the check build tag.
+func AssertCSR(m *sparse.CSR) {}

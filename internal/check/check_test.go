@@ -1,0 +1,129 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestValidPermutation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    sparse.Permutation
+		ok   bool
+	}{
+		{"empty", sparse.Permutation{}, true},
+		{"identity", sparse.Permutation{0, 1, 2, 3}, true},
+		{"reversed", sparse.Permutation{3, 2, 1, 0}, true},
+		{"duplicate", sparse.Permutation{0, 1, 1, 3}, false},
+		{"out-of-range", sparse.Permutation{0, 1, 2, 4}, false},
+		{"negative", sparse.Permutation{0, -1, 2, 3}, false},
+	}
+	for _, c := range cases {
+		err := ValidPermutation(c.p)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: ValidPermutation = %v, want ok=%v", c.name, err, c.ok)
+		}
+		// Must agree with the sparse package's own validator.
+		if (c.p.Validate() == nil) != (err == nil) {
+			t.Errorf("%s: check and sparse validators disagree", c.name)
+		}
+	}
+}
+
+func validMatrix() *sparse.CSR {
+	return &sparse.CSR{
+		NumRows:    3,
+		NumCols:    3,
+		RowOffsets: []int32{0, 2, 2, 4},
+		ColIndices: []int32{0, 2, 1, 2},
+		Values:     []float32{1, 2, 3, 4},
+	}
+}
+
+func TestValidCSR(t *testing.T) {
+	if err := ValidCSR(validMatrix()); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	if err := ValidCSR(nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	mutations := map[string]func(*sparse.CSR){
+		"offsets-short":   func(m *sparse.CSR) { m.RowOffsets = m.RowOffsets[:3] },
+		"offsets-nonzero": func(m *sparse.CSR) { m.RowOffsets[0] = 1 },
+		"offsets-descend": func(m *sparse.CSR) { m.RowOffsets[1] = 3; m.RowOffsets[2] = 2 },
+		"offsets-end":     func(m *sparse.CSR) { m.RowOffsets[3] = 3 },
+		"col-negative":    func(m *sparse.CSR) { m.ColIndices[0] = -1 },
+		"col-too-big":     func(m *sparse.CSR) { m.ColIndices[3] = 3 },
+		"col-unsorted":    func(m *sparse.CSR) { m.ColIndices[0], m.ColIndices[1] = 2, 0 },
+		"col-duplicate":   func(m *sparse.CSR) { m.ColIndices[1] = 0 },
+		"values-short":    func(m *sparse.CSR) { m.Values = m.Values[:3] },
+	}
+	for name, mutate := range mutations {
+		m := validMatrix()
+		mutate(m)
+		if err := ValidCSR(m); err == nil {
+			t.Errorf("%s: corrupted matrix accepted", name)
+		}
+		if (m.Validate() == nil) != false {
+			t.Errorf("%s: sparse validator disagrees (accepted corruption)", name)
+		}
+	}
+}
+
+func TestSafeInt32(t *testing.T) {
+	if got := SafeInt32(1 << 20); got != 1<<20 {
+		t.Fatalf("SafeInt32(1<<20) = %d", got)
+	}
+	if !FitsInt32(1<<31-1) || FitsInt32(1<<31) {
+		t.Fatal("FitsInt32 boundary wrong")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("SafeInt32 did not panic on overflow")
+		}
+		if !strings.Contains(r.(string), "overflows int32") {
+			t.Fatalf("unexpected panic message %v", r)
+		}
+	}()
+	SafeInt32(1 << 31)
+}
+
+// TestAssertGating verifies the build-tag contract: with -tags check the
+// Assert helpers panic on violations, without it they are no-ops.
+func TestAssertGating(t *testing.T) {
+	bad := sparse.Permutation{0, 0}
+	if !Enabled {
+		AssertPermutation(bad) // must not panic
+		Assert(false, "ignored")
+		AssertCSR(&sparse.CSR{NumRows: -1})
+		return
+	}
+	for name, fn := range map[string]func(){
+		"perm":   func() { AssertPermutation(bad) },
+		"assert": func() { Assert(false, "boom %d", 1) },
+		"csr":    func() { AssertCSR(&sparse.CSR{NumRows: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: assertion did not panic under -tags check", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermAndCSRPassThrough(t *testing.T) {
+	p := sparse.Permutation{1, 0}
+	if got := Perm(p); &got[0] != &p[0] {
+		t.Fatal("Perm did not return its argument")
+	}
+	m := validMatrix()
+	if got := CSR(m); got != m {
+		t.Fatal("CSR did not return its argument")
+	}
+}

@@ -3,6 +3,7 @@ package community
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -220,7 +221,7 @@ func (g *weightedGraph) aggregate(a Assignment) *weightedGraph {
 		}
 	}
 	for c := int32(0); c < k; c++ {
-		agg.offsets[c+1] = agg.offsets[c] + int32(len(maps[c]))
+		agg.offsets[c+1] = agg.offsets[c] + check.SafeInt32(len(maps[c]))
 	}
 	agg.nbr = make([]int32, agg.offsets[k])
 	agg.w = make([]float64, agg.offsets[k])

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sparse"
+)
+
+// fuzzMatrix decodes a byte string into a small square CSR: the first byte
+// picks the dimension, the rest is consumed pairwise as edges.
+func fuzzMatrix(data []byte) *sparse.CSR {
+	if len(data) == 0 {
+		return sparse.NewCOO(0, 0, 0).ToCSR()
+	}
+	n := int32(data[0]%48) + 1
+	data = data[1:]
+	coo := sparse.NewCOO(n, n, len(data)/2)
+	for len(data) >= 2 {
+		r := int32(data[0]) % n
+		c := int32(data[1]) % n
+		data = data[2:]
+		coo.Add(r, c, 1)
+	}
+	return coo.ToCSR()
+}
+
+// FuzzRabbitRoundTrip drives the full reordering pipeline on arbitrary small
+// graphs: RABBIT and RABBIT++ must produce valid bijections, the permuted
+// matrix must stay structurally valid, applying the inverse permutation must
+// reproduce the original matrix exactly, and two runs must agree bit for bit
+// (determinism).
+func FuzzRabbitRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{16, 0, 1, 1, 0, 5, 6, 6, 5, 2, 2, 9, 9})
+	f.Add([]byte{48, 7, 7, 7, 8, 8, 7, 1, 2, 3, 4, 5, 6, 40, 41, 41, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		m := fuzzMatrix(data)
+		for _, run := range []struct {
+			name string
+			perm func() sparse.Permutation
+		}{
+			{"RABBIT", func() sparse.Permutation { return Rabbit(m).Perm }},
+			{"RABBIT++", func() sparse.Permutation { return RabbitPlusPlus(m).Perm }},
+		} {
+			p := run.perm()
+			if err := check.ValidPermutation(p); err != nil {
+				t.Fatalf("%s: invalid permutation: %v", run.name, err)
+			}
+			if len(p) != int(m.NumRows) {
+				t.Fatalf("%s: permutation size %d for %d rows", run.name, len(p), m.NumRows)
+			}
+			pm := m.PermuteSymmetric(p)
+			if err := check.ValidCSR(pm); err != nil {
+				t.Fatalf("%s: permuted matrix invalid: %v", run.name, err)
+			}
+			back := pm.PermuteSymmetric(p.Inverse())
+			if !back.Equal(m) {
+				t.Fatalf("%s: inverse permutation does not round-trip", run.name)
+			}
+			again := run.perm()
+			for i := range p {
+				if p[i] != again[i] {
+					t.Fatalf("%s: nondeterministic permutation at %d: %d vs %d", run.name, i, p[i], again[i])
+				}
+			}
+		}
+	})
+}

@@ -7,9 +7,16 @@ package core
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/community"
 	"repro/internal/sparse"
 )
+
+// gainEps is the tolerance for modularity-gain ties. Gains are sums of
+// O(n) float64 terms, so exact equality between two candidates is
+// evaluation-order luck; anything within gainEps is treated as a tie and
+// broken deterministically by community ID.
+const gainEps = 1e-12
 
 // RabbitResult carries everything RABBIT produces: the new ordering, the
 // detected community assignment, and the dendrogram (merge forest) that the
@@ -146,7 +153,8 @@ func RabbitResolution(m *sparse.CSR, gamma float64) *RabbitResult {
 		bestGain := 0.0
 		for _, r := range touched {
 			gain := 2 * (weightTo[r]/m2 - gamma*(strength[v]/m2)*(strength[r]/m2))
-			if gain > bestGain || (gain == bestGain && gain > 0 && best >= 0 && r < best) {
+			d := gain - bestGain
+			if d > gainEps || (d > -gainEps && gain > gainEps && best >= 0 && r < best) {
 				bestGain = gain
 				best = r
 			}
@@ -190,7 +198,7 @@ func RabbitResolution(m *sparse.CSR, gamma float64) *RabbitResult {
 	}
 
 	return &RabbitResult{
-		Perm:        sparse.FromNewOrder(newOrder),
+		Perm:        check.Perm(sparse.FromNewOrder(newOrder)),
 		Communities: community.FromLabels(uf.Labels()),
 		Parent:      parent,
 		Children:    children,

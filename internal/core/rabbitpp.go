@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/community"
 	"repro/internal/sparse"
 )
@@ -120,7 +121,7 @@ func ModifyRabbit(m *sparse.CSR, rr *RabbitResult, opts Options) *Result {
 		sort.SliceStable(hubs, func(a, b int) bool { return inDeg[hubs[a]] > inDeg[hubs[b]] })
 	}
 
-	res.Perm = sparse.FromNewOrder(order)
+	res.Perm = check.Perm(sparse.FromNewOrder(order))
 	return res
 }
 

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/reorder"
+)
+
+// TestRunnerConcurrentAccess drives the Runner's caches from many
+// goroutines at once: concurrent Matrix lookups of the same name,
+// concurrent Perm computations for several techniques, and concurrent
+// traffic queries. Under -race this exercises the mutex discipline around
+// MatrixData.perms/sims and the once-guarded RABBIT result.
+func TestRunnerConcurrentAccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs cache simulations; skipped in -short")
+	}
+	r := testRunner(t, "er-deg16")
+	techs := []reorder.Technique{
+		reorder.Original{},
+		reorder.DegSort{},
+		reorder.Rabbit{},
+		reorder.RabbitPP{},
+	}
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			md, err := r.Matrix("er-deg16")
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			tech := techs[c%len(techs)]
+			p := r.Perm(md, tech)
+			if len(p) != int(md.M.NumRows) {
+				errs[c] = fmt.Errorf("permutation has %d entries for %d rows", len(p), md.M.NumRows)
+				return
+			}
+			_ = r.NormTraffic(md, tech, SpMV)
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", c, err)
+		}
+	}
+}

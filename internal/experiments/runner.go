@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"repro/internal/cachesim"
+	"repro/internal/check"
 	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -181,6 +182,7 @@ func (r *Runner) Perm(md *MatrixData, tech reorder.Technique) sparse.Permutation
 	default:
 		p = tech.Order(md.M)
 	}
+	check.AssertPermutation(p)
 	md.mu.Lock()
 	md.perms[tech.Name()] = p
 	md.mu.Unlock()

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -54,7 +55,7 @@ func (g PlantedPartition) Generate(seed uint64) *sparse.CSR {
 		var v int32
 		if r.Float64() >= g.Mu && len(members[commOf[u]]) > 1 {
 			m := members[commOf[u]]
-			v = m[r.Intn(int32(len(m)))]
+			v = m[r.Intn(check.SafeInt32(len(m)))]
 		} else {
 			v = r.Intn(n)
 		}
@@ -490,7 +491,7 @@ func (g HubbyCommunities) Generate(seed uint64) *sparse.CSR {
 		var v int32
 		if r.Float64() >= g.Mu {
 			m := members[commOf[u]]
-			v = m[r.Intn(int32(len(m)))]
+			v = m[r.Intn(check.SafeInt32(len(m)))]
 		} else {
 			v = r.Intn(n)
 		}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -44,7 +45,7 @@ func (g BarabasiAlbert) Generate(seed uint64) *sparse.CSR {
 			if len(targets) == 0 {
 				u = r.Intn(v)
 			} else {
-				u = targets[r.Intn(int32(len(targets)))]
+				u = targets[r.Intn(check.SafeInt32(len(targets)))]
 			}
 			if u == v {
 				continue

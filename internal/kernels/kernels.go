@@ -11,12 +11,14 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
 // SpMVCSR computes y = A·x for a CSR matrix, the paper's Algorithm 1. The
 // destination slice must have NumRows entries and is overwritten.
 func SpMVCSR(a *sparse.CSR, x, y []float32) error {
+	check.AssertCSR(a)
 	if len(x) != int(a.NumCols) {
 		return fmt.Errorf("kernels: x has %d entries for %d columns", len(x), a.NumCols)
 	}
@@ -38,6 +40,7 @@ func SpMVCSR(a *sparse.CSR, x, y []float32) error {
 // rows into contiguous chunks. Results are bit-identical to SpMVCSR because
 // each row is accumulated by exactly one goroutine in index order.
 func SpMVCSRParallel(a *sparse.CSR, x, y []float32) error {
+	check.AssertCSR(a)
 	if len(x) != int(a.NumCols) {
 		return fmt.Errorf("kernels: x has %d entries for %d columns", len(x), a.NumCols)
 	}
@@ -121,6 +124,7 @@ func (d *Dense) Row(r int32) []float32 {
 // SpMMCSR computes C = A·B for CSR A and dense B, writing into dense C.
 // B must have A.NumCols rows; C must be A.NumRows × B.Cols.
 func SpMMCSR(a *sparse.CSR, b, c *Dense) error {
+	check.AssertCSR(a)
 	if b.Rows != a.NumCols {
 		return fmt.Errorf("kernels: B has %d rows for %d matrix columns", b.Rows, a.NumCols)
 	}

@@ -1,0 +1,50 @@
+package kernels
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSpMVCSRParallelConcurrentCallers hammers the parallel kernel from
+// many goroutines sharing one matrix and one input vector. Each caller owns
+// its output slice, so under -race this fails if the kernel's internal
+// fan-out ever writes outside its caller's y or reads shared state
+// unsafely.
+func TestSpMVCSRParallelConcurrentCallers(t *testing.T) {
+	m := gen.HubbyCommunities{
+		Nodes: 2000, Communities: 10, AvgDegree: 12, Mu: 0.2, Hubs: 50, HubDegree: 40,
+	}.Generate(7)
+	x := randomVec(gen.NewRNG(11), m.NumCols)
+	want := DenseSpMVReference(m, x)
+
+	const callers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	results := make([][]float32, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			y := make([]float32, m.NumRows)
+			for r := 0; r < rounds; r++ {
+				if err := SpMVCSRParallel(m, x, y); err != nil {
+					errs[c] = err
+					return
+				}
+			}
+			results[c] = y
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		if errs[c] != nil {
+			t.Fatalf("caller %d: %v", c, errs[c])
+		}
+		if !approxEqual(results[c], want, 1e-4) {
+			t.Fatalf("caller %d diverged from the dense reference", c)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package partition
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -113,7 +114,7 @@ func allVertices(n int32) []int32 {
 // bisect recursively splits the vertex subset, assigning final part labels
 // in [base, base+parts).
 func bisect(g *graph, subset []int32, base, parts int32, part []int32, opts Options) {
-	if parts <= 1 || int32(len(subset)) <= 1 {
+	if parts <= 1 || len(subset) <= 1 {
 		for _, v := range subset {
 			part[v] = base
 		}
@@ -163,7 +164,7 @@ func induce(g *graph, subset []int32) *graph {
 		remap[v] = int32(i)
 	}
 	out := &graph{
-		n:       int32(len(subset)),
+		n:       check.SafeInt32(len(subset)),
 		offsets: make([]int32, len(subset)+1),
 		vw:      make([]int32, len(subset)),
 	}
@@ -271,7 +272,7 @@ func coarsen(g *graph) *coarseLevel {
 		}
 	}
 	for c := int32(0); c < nc; c++ {
-		coarse.offsets[c+1] = coarse.offsets[c] + int32(len(maps[c]))
+		coarse.offsets[c+1] = coarse.offsets[c] + check.SafeInt32(len(maps[c]))
 	}
 	coarse.nbr = make([]int32, coarse.offsets[nc])
 	coarse.w = make([]int32, coarse.offsets[nc])
@@ -404,5 +405,5 @@ func Order(part []int32, parts int32) sparse.Permutation {
 		perm[v] = counts[p] + cursor[p]
 		cursor[p]++
 	}
-	return perm
+	return check.Perm(perm)
 }

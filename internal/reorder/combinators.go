@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -32,7 +33,7 @@ func (c Chain) Order(m *sparse.CSR) sparse.Permutation {
 		cur = cur.PermuteSymmetric(p)
 		perm = perm.Compose(p)
 	}
-	return perm
+	return check.Perm(perm)
 }
 
 // PerComponent applies the inner technique independently to every weakly
@@ -72,9 +73,9 @@ func (p PerComponent) Order(m *sparse.CSR) sparse.Permutation {
 		for i, v := range localOf {
 			perm[v] = base + local[i]
 		}
-		base += int32(len(localOf))
+		base += check.SafeInt32(len(localOf))
 	}
-	return perm
+	return check.Perm(perm)
 }
 
 // extractComponent builds the induced submatrix over the given vertices
@@ -84,7 +85,8 @@ func extractComponent(m *sparse.CSR, vs []int32) (*sparse.CSR, []int32) {
 	for i, v := range vs {
 		localID[v] = int32(i)
 	}
-	coo := sparse.NewCOO(int32(len(vs)), int32(len(vs)), 0)
+	nv := check.SafeInt32(len(vs))
+	coo := sparse.NewCOO(nv, nv, 0)
 	for i, v := range vs {
 		cols, vals := m.Row(v)
 		for k, c := range cols {

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -45,7 +46,7 @@ func (DBG) Order(m *sparse.CSR) sparse.Permutation {
 		p[v] = starts[b] + offsets[b]
 		offsets[b]++
 	}
-	return p
+	return check.Perm(p)
 }
 
 // HubSort packs hub vertices (in-degree above the average degree) first in
@@ -69,7 +70,7 @@ func (HubSort) Order(m *sparse.CSR) sparse.Permutation {
 		}
 	}
 	sort.SliceStable(hubs, func(a, b int) bool { return inDeg[hubs[a]] > inDeg[hubs[b]] })
-	return sparse.FromNewOrder(append(hubs, rest...))
+	return check.Perm(sparse.FromNewOrder(append(hubs, rest...)))
 }
 
 // HubGroup packs hub vertices first in their original relative order,
@@ -92,5 +93,5 @@ func (HubGroup) Order(m *sparse.CSR) sparse.Permutation {
 			rest = append(rest, v)
 		}
 	}
-	return sparse.FromNewOrder(append(hubs, rest...))
+	return check.Perm(sparse.FromNewOrder(append(hubs, rest...)))
 }

@@ -1,0 +1,72 @@
+package reorder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// permDigest orders one fixed matrix with every technique and folds all the
+// permutations into a single hash. Any ordering decision that leaks map
+// iteration order (or other per-process randomness) changes the digest.
+func permDigest() string {
+	m := testMatrix(3)
+	h := fnv.New64a()
+	for _, tech := range All() {
+		h.Write([]byte(tech.Name()))
+		for _, v := range tech.Order(m) {
+			var buf [4]byte
+			buf[0] = byte(v)
+			buf[1] = byte(v >> 8)
+			buf[2] = byte(v >> 16)
+			buf[3] = byte(v >> 24)
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+const determinismHelperEnv = "REORDER_DETERMINISM_HELPER"
+
+// TestDeterminismHelper prints the digest when re-executed as a child
+// process; it is a no-op in a normal test run.
+func TestDeterminismHelper(t *testing.T) {
+	if os.Getenv(determinismHelperEnv) != "1" {
+		t.Skip("helper for TestDeterminismAcrossProcesses")
+	}
+	fmt.Printf("PERM_DIGEST=%s\n", permDigest())
+}
+
+// TestDeterminismAcrossProcesses re-executes the test binary and compares
+// permutation digests between the two processes. Go seeds map iteration
+// order per process, so ordering code that ranges over a map without
+// sorting passes a same-process double-run but fails here.
+func TestDeterminismAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short")
+	}
+	parent := permDigest()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDeterminismHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), determinismHelperEnv+"=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child process: %v\n%s", err, out)
+	}
+	var child string
+	for _, line := range strings.Split(string(out), "\n") {
+		if v, ok := strings.CutPrefix(strings.TrimSpace(line), "PERM_DIGEST="); ok {
+			child = v
+			break
+		}
+	}
+	if child == "" {
+		t.Fatalf("child printed no digest:\n%s", out)
+	}
+	if child != parent {
+		t.Fatalf("permutations differ across processes: parent %s, child %s (map iteration order is leaking into an ordering)", parent, child)
+	}
+}

@@ -3,6 +3,7 @@ package reorder
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/community"
 	"repro/internal/partition"
 	"repro/internal/sparse"
@@ -34,7 +35,7 @@ func (p PartitionOrder) Order(m *sparse.CSR) sparse.Permutation {
 		return sparse.Permutation{}
 	}
 	labels := partition.Partition(m, partition.Options{Parts: parts})
-	return partition.Order(labels, parts)
+	return check.Perm(partition.Order(labels, parts))
 }
 
 // LouvainOrder orders by Louvain community detection: communities receive
@@ -70,7 +71,7 @@ func (LouvainOrder) Order(m *sparse.CSR) sparse.Permutation {
 		perm[v] = pos[c] + fill[c]
 		fill[c]++
 	}
-	return perm
+	return check.Perm(perm)
 }
 
 // FrequencyClustering implements frequency-based clustering (Zhang et al.,
@@ -108,7 +109,7 @@ func (FrequencyClustering) Order(m *sparse.CSR) sparse.Permutation {
 		}
 	}
 	sort.SliceStable(hot, func(a, b int) bool { return inDeg[hot[a]] > inDeg[hot[b]] })
-	return sparse.FromNewOrder(append(hot, cold...))
+	return check.Perm(sparse.FromNewOrder(append(hot, cold...)))
 }
 
 // HubCluster implements the HubCluster variant of Balaji & Lucia
@@ -137,5 +138,5 @@ func (HubCluster) Order(m *sparse.CSR) sparse.Permutation {
 		}
 	}
 	order := append(hubs, warm...)
-	return sparse.FromNewOrder(append(order, dead...))
+	return check.Perm(sparse.FromNewOrder(append(order, dead...)))
 }

@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -191,12 +192,12 @@ func (g Gorder) Order(m *sparse.CSR) sparse.Permutation {
 		adjustScores(u, 1)
 	}
 	place(start)
-	for int32(len(order)) < n {
+	for len(order) < int(n) {
 		next := q.popMax()
 		if next < 0 {
 			break
 		}
 		place(next)
 	}
-	return sparse.FromNewOrder(order)
+	return check.Perm(sparse.FromNewOrder(order))
 }

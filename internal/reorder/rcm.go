@@ -3,6 +3,7 @@ package reorder
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -61,5 +62,5 @@ func (RCM) Order(m *sparse.CSR) sparse.Permutation {
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
-	return sparse.FromNewOrder(order)
+	return check.Perm(sparse.FromNewOrder(order))
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/sparse"
 )
@@ -35,7 +36,7 @@ func (Original) Name() string { return "ORIGINAL" }
 
 // Order implements Technique.
 func (Original) Order(m *sparse.CSR) sparse.Permutation {
-	return sparse.Identity(m.NumRows)
+	return check.Perm(sparse.Identity(m.NumRows))
 }
 
 // Random assigns IDs uniformly at random (deterministically in Seed) — the
@@ -64,7 +65,7 @@ func (r Random) Order(m *sparse.CSR) sparse.Permutation {
 		j := int(next() % uint64(i+1))
 		p[i], p[j] = p[j], p[i]
 	}
-	return p
+	return check.Perm(p)
 }
 
 // DegSort assigns IDs in decreasing order of in-degree (stable in the
@@ -83,7 +84,7 @@ func (DegSort) Order(m *sparse.CSR) sparse.Permutation {
 		order[i] = int32(i)
 	}
 	sort.SliceStable(order, func(a, b int) bool { return inDeg[order[a]] > inDeg[order[b]] })
-	return sparse.FromNewOrder(order)
+	return check.Perm(sparse.FromNewOrder(order))
 }
 
 // Rabbit adapts internal/core's community-based reordering.
@@ -94,7 +95,7 @@ func (Rabbit) Name() string { return "RABBIT" }
 
 // Order implements Technique.
 func (Rabbit) Order(m *sparse.CSR) sparse.Permutation {
-	return core.Rabbit(m).Perm
+	return check.Perm(core.Rabbit(m).Perm)
 }
 
 // RabbitPP adapts RABBIT++, the paper's proposal: RABBIT plus insular-node
@@ -106,7 +107,7 @@ func (RabbitPP) Name() string { return "RABBIT++" }
 
 // Order implements Technique.
 func (RabbitPP) Order(m *sparse.CSR) sparse.Permutation {
-	return core.RabbitPlusPlus(m).Perm
+	return check.Perm(core.RabbitPlusPlus(m).Perm)
 }
 
 // RabbitVariant exposes an arbitrary point of the Table II design space as
@@ -126,7 +127,7 @@ func (v RabbitVariant) Name() string {
 
 // Order implements Technique.
 func (v RabbitVariant) Order(m *sparse.CSR) sparse.Permutation {
-	return core.Reorder(m, v.Opts).Perm
+	return check.Perm(core.Reorder(m, v.Opts).Perm)
 }
 
 // ByName resolves a technique from its display name. Reordering seeds and

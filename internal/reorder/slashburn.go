@@ -3,6 +3,7 @@ package reorder
 import (
 	"sort"
 
+	"repro/internal/check"
 	"repro/internal/sparse"
 )
 
@@ -66,8 +67,8 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 		copy(hubs, alive)
 		sort.SliceStable(hubs, func(a, b int) bool { return deg[hubs[a]] > deg[hubs[b]] })
 		take := k
-		if take > int32(len(hubs)) {
-			take = int32(len(hubs))
+		if nh := check.SafeInt32(len(hubs)); take > nh {
+			take = nh
 		}
 		for _, h := range hubs[:take] {
 			perm[h] = lo
@@ -87,7 +88,7 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 			if removed[v] || comp[v] >= 0 {
 				continue
 			}
-			id := int32(len(comps))
+			id := check.SafeInt32(len(comps))
 			comp[v] = id
 			queue = append(queue[:0], v)
 			members := []int32{v}
@@ -133,7 +134,7 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 		alive = comps[giant].members
 		// Termination: once the giant component is no larger than k, place
 		// it directly.
-		if int32(len(alive)) <= k {
+		if len(alive) <= int(k) {
 			for _, v := range alive {
 				perm[v] = lo
 				lo++
@@ -142,5 +143,5 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 			break
 		}
 	}
-	return perm
+	return check.Perm(perm)
 }

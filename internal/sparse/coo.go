@@ -149,7 +149,7 @@ func (c *COO) ToCSR() *CSR {
 			out.ColIndices = append(out.ColIndices, scratch[i].c)
 			out.Values = append(out.Values, scratch[i].v)
 		}
-		out.RowOffsets[r+1] = int32(len(out.ColIndices))
+		out.RowOffsets[r+1] = mustInt32(len(out.ColIndices))
 	}
 	return out
 }

@@ -68,6 +68,11 @@ func (m *CSR) Validate() error {
 		if m.RowOffsets[r] > m.RowOffsets[r+1] {
 			return fmt.Errorf("sparse: RowOffsets not monotone at row %d", r)
 		}
+		// Bounds must hold before Row may slice: a locally monotone prefix
+		// can still point past nnz when a later offset decreases.
+		if int(m.RowOffsets[r+1]) > len(m.ColIndices) {
+			return fmt.Errorf("sparse: RowOffsets[%d] = %d exceeds nnz %d", r+1, m.RowOffsets[r+1], len(m.ColIndices))
+		}
 		cols, _ := m.Row(r)
 		for k, c := range cols {
 			if c < 0 || c >= m.NumCols {
@@ -219,7 +224,7 @@ func (m *CSR) Symmetrize() *CSR {
 				j++
 			}
 		}
-		out.RowOffsets[r+1] = int32(len(out.ColIndices))
+		out.RowOffsets[r+1] = mustInt32(len(out.ColIndices))
 	}
 	return out
 }

@@ -1,0 +1,19 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// mustInt32 converts an int to int32, panicking instead of silently wrapping
+// when the value does not fit. Offset and index construction on nnz-sized
+// quantities must use this guard: matrices near 2³¹ nonzeros would otherwise
+// produce negative offsets with no error. (internal/check.SafeInt32 is the
+// same guard for packages above this one; sparse cannot import check without
+// a cycle.)
+func mustInt32(v int) int32 {
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		panic(fmt.Sprintf("sparse: value %d overflows int32", v))
+	}
+	return int32(v)
+}

@@ -123,7 +123,7 @@ func (m *CSR) MaskRowsCols(keep []bool) *CSR {
 				out.Values = append(out.Values, vals[k])
 			}
 		}
-		out.RowOffsets[r+1] = int32(len(out.ColIndices))
+		out.RowOffsets[r+1] = mustInt32(len(out.ColIndices))
 	}
 	return out
 }
@@ -166,7 +166,7 @@ func (m *CSR) CompactEmpty() (*CSR, []int32) {
 			out.Values = append(out.Values, vals[k])
 		}
 		nr++
-		out.RowOffsets[nr] = int32(len(out.ColIndices))
+		out.RowOffsets[nr] = mustInt32(len(out.ColIndices))
 	}
 	return out, remap
 }

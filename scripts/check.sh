@@ -1,0 +1,29 @@
+#!/bin/sh
+# Pre-merge gate: build, vet, repo-specific lint, tests (with race
+# detector and with assertions enabled), and short fuzz smokes.
+# Run from the repository root: ./scripts/check.sh
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/lint ./..."
+go run ./cmd/lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -tags check ./internal/..."
+go test -tags check ./internal/...
+
+echo "==> fuzz smoke: FuzzValidCSR / FuzzValidPermutation (internal/check)"
+go test -run=NONE -fuzz=FuzzValidCSR -fuzztime=5s ./internal/check
+go test -run=NONE -fuzz=FuzzValidPermutation -fuzztime=5s ./internal/check
+
+echo "==> fuzz smoke: FuzzRabbitRoundTrip (internal/core)"
+go test -run=NONE -fuzz=FuzzRabbitRoundTrip -fuzztime=5s ./internal/core
+
+echo "All checks passed."

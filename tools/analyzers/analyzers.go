@@ -1,0 +1,177 @@
+// Package analyzers implements the repository's custom static-analysis
+// passes: mapiter (map iteration order feeding ordering decisions), floatcmp
+// (exact float equality on gain/modularity comparisons), uncheckedcast
+// (unguarded int→int32 index downcasts), and permreturn (exported
+// permutation producers that skip the validation helper).
+//
+// The container pins the dependency set, so golang.org/x/tools is
+// deliberately not available; the tiny framework below mirrors the
+// go/analysis Analyzer/Pass shape on the standard library's go/ast and
+// go/types alone, and the passes could migrate to a real multichecker
+// verbatim. cmd/lint is the driver binary.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages restricts the driver to import paths containing one of these
+	// fragments; empty runs the pass on every package.
+	Packages []string
+	Run      func(*Pass)
+}
+
+// appliesTo reports whether the analyzer covers the import path.
+func (a *Analyzer) appliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, frag := range a.Packages {
+		if strings.Contains(importPath, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the repository's analyzers in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, FloatCmp, UncheckedCast, PermReturn}
+}
+
+// RunAll runs every applicable analyzer over every package and returns the
+// surviving diagnostics sorted by position. Findings on lines carrying (or
+// directly below) a `//lint:allow <analyzer>` comment are suppressed.
+func RunAll(pkgs []*LoadedPackage, as []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range as {
+			if !a.appliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				analyzer:  a,
+				diags:     &diags,
+			}
+			a.Run(pass)
+		}
+		diags = pkg.filterAllowed(diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared type helpers ----
+
+// isMap reports whether t's core type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloat reports whether t is a floating-point type (including untyped
+// float constants).
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isIntegerKind reports whether t is one of the named integer kinds.
+func isIntegerKind(t types.Type, kinds ...types.BasicKind) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	for _, k := range kinds {
+		if b.Kind() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the bare name of a call's target: the selector name for
+// x.F(...), the identifier for F(...), and "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// enclosingFuncs yields every function declaration and literal in the file.
+func enclosingFuncs(f *ast.File, visit func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Type, fd.Body, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				visit("", fl.Type, fl.Body, fd)
+			}
+			return true
+		})
+	}
+}

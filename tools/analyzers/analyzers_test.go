@@ -1,0 +1,312 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// analyze type-checks one fixture source string and runs a single analyzer
+// over it, returning the diagnostics.
+func analyze(t *testing.T, a *Analyzer, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	var diags []Diagnostic
+	a.Run(&Pass{
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       pkg,
+		TypesInfo: info,
+		analyzer:  a,
+		diags:     &diags,
+	})
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrings ...string) {
+	t.Helper()
+	if len(diags) != len(substrings) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(substrings), diags)
+	}
+	for i, want := range substrings {
+		if !strings.Contains(diags[i].Message, want) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+		}
+	}
+}
+
+func TestMapIterPositive(t *testing.T) {
+	src := `package fixture
+
+func argmaxFromMap(w map[int32]float64) int32 {
+	var best int32 = -1
+	bestW := -1.0
+	for k, v := range w {
+		if v > bestW {
+			bestW = v
+			best = k
+		}
+	}
+	return best
+}
+
+func collectNeverSorted(w map[int32]float64) []int32 {
+	var keys []int32
+	for k := range w {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func floatSum(w map[int32]float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s
+}
+`
+	wantFindings(t, analyze(t, MapIter, src),
+		"ordering-sensitive computation",
+		"never sorted",
+		"floating-point accumulation")
+}
+
+func TestMapIterNegative(t *testing.T) {
+	src := `package fixture
+
+import "sort"
+
+func collectThenSort(w map[int32]float64) []int32 {
+	keys := make([]int32, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func perKeyStore(w map[int32]float64, out []float64) {
+	for k, v := range w {
+		out[k] = v
+	}
+}
+
+func intCount(w map[int32]float64) int {
+	n := 0
+	for range w {
+		n++
+	}
+	return n
+}
+
+func sliceRangeUntouched(xs []float64) float64 {
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+`
+	wantFindings(t, analyze(t, MapIter, src))
+}
+
+func TestFloatCmpPositive(t *testing.T) {
+	src := `package fixture
+
+func tieBreak(gain, bestGain float64) bool {
+	return gain == bestGain
+}
+
+func notEqual(a, b float32) bool {
+	return a != b
+}
+
+func constNonZero(q float64) bool {
+	return q == 1.5
+}
+`
+	wantFindings(t, analyze(t, FloatCmp, src),
+		"gain == bestGain",
+		"a != b",
+		"q == 1.5")
+}
+
+func TestFloatCmpNegative(t *testing.T) {
+	src := `package fixture
+
+func zeroSentinel(w float64) bool {
+	return w == 0
+}
+
+func nonZeroCheck(w float64) bool {
+	return w != 0.0
+}
+
+func epsilonCompare(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-12
+}
+
+func intCompare(a, b int) bool {
+	return a == b
+}
+`
+	wantFindings(t, analyze(t, FloatCmp, src))
+}
+
+func TestUncheckedCastPositive(t *testing.T) {
+	src := `package fixture
+
+type matrix struct{ cols []int32 }
+
+func (m *matrix) NNZ() int { return len(m.cols) }
+
+func fromLen(xs []int64) int32 {
+	return int32(len(xs))
+}
+
+func fromCall(m *matrix) int32 {
+	return int32(m.NNZ())
+}
+`
+	wantFindings(t, analyze(t, UncheckedCast, src),
+		"int32(len(xs))",
+		"int32(m.NNZ())")
+}
+
+func TestUncheckedCastNegative(t *testing.T) {
+	src := `package fixture
+
+import "math"
+
+func mustInt32(v int) int32 {
+	if v > math.MaxInt32 {
+		panic("overflow")
+	}
+	return int32(v)
+}
+
+func guarded(xs []int64) int32 {
+	if len(xs) > math.MaxInt32 {
+		panic("overflow")
+	}
+	return int32(len(xs))
+}
+
+func viaHelper(xs []int64) int32 {
+	return mustInt32(len(xs))
+}
+
+func loopVar(n int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i) // arithmetic on an already-bounded value: not flagged
+	}
+	return out
+}
+`
+	wantFindings(t, analyze(t, UncheckedCast, src))
+}
+
+func TestPermReturnPositive(t *testing.T) {
+	src := `package fixture
+
+type Permutation []int32
+
+func Identity(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+`
+	wantFindings(t, analyze(t, PermReturn, src), "exported Identity")
+}
+
+func TestPermReturnNegative(t *testing.T) {
+	src := `package fixture
+
+type Permutation []int32
+
+func (p Permutation) Validate() error { return nil }
+
+func AssertPermutation(p Permutation) {}
+
+func Checked(n int) Permutation {
+	p := make(Permutation, n)
+	AssertPermutation(p)
+	return p
+}
+
+func Validated(n int) Permutation {
+	p := make(Permutation, n)
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func unexportedSkipped(n int) Permutation {
+	return make(Permutation, n)
+}
+
+func ExportedNonPerm(n int) []int32 {
+	return make([]int32, n)
+}
+
+type inner struct{}
+
+func (inner) Order(n int) Permutation {
+	return make(Permutation, n)
+}
+`
+	wantFindings(t, analyze(t, PermReturn, src))
+}
+
+// TestLoadAndSuppression drives the real loader over the check package and
+// verifies lint:allow filtering machinery on a synthetic diagnostic.
+func TestLoadAndSuppression(t *testing.T) {
+	pkgs, err := Load("../..", []string{"./internal/check"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "repro/internal/check" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+	diags := RunAll(pkgs, All())
+	if len(diags) != 0 {
+		t.Fatalf("internal/check must be lint-clean, got %v", diags)
+	}
+
+	p := &LoadedPackage{allowed: map[string]map[int][]string{
+		"f.go": {10: {"mapiter"}},
+	}}
+	in := []Diagnostic{
+		{Analyzer: "mapiter", Pos: token.Position{Filename: "f.go", Line: 10}},
+		{Analyzer: "floatcmp", Pos: token.Position{Filename: "f.go", Line: 10}},
+		{Analyzer: "mapiter", Pos: token.Position{Filename: "f.go", Line: 11}},
+	}
+	out := p.filterAllowed(in)
+	if len(out) != 2 {
+		t.Fatalf("suppression filtered %d of 3, want 1: %v", 3-len(out), out)
+	}
+}

@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatCmp flags `==` and `!=` between floating-point operands. Gain and
+// modularity comparisons decide merges and orderings; exact float equality
+// makes those decisions depend on rounding noise, so near-ties must be
+// resolved with an explicit epsilon.
+//
+// Comparisons against an exact constant zero are exempt: zero is the one
+// value float algorithms legitimately use as a sentinel ("slot never
+// touched", "weight reset"), and those checks are exact by construction.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact float equality comparisons without an epsilon",
+	Packages: []string{
+		"internal/community", "internal/core", "internal/reorder",
+		"internal/partition", "internal/quality", "internal/experiments",
+	},
+	Run: runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt := pass.TypesInfo.TypeOf(be.X)
+			rt := pass.TypesInfo.TypeOf(be.Y)
+			if !isFloat(lt) && !isFloat(rt) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "float %s comparison without an epsilon: %s %s %s; near-ties resolve by rounding noise",
+				be.Op, exprString(be.X), be.Op, exprString(be.Y))
+			return true
+		})
+	}
+}
+
+// isExactZero reports whether the expression is a compile-time constant
+// equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package plus the suppression
+// comments found in its files.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	// allowed maps file name -> line -> analyzer names suppressed there via
+	// `//lint:allow <name> [reason]` comments.
+	allowed map[string]map[int][]string
+}
+
+// Load expands the go-list patterns (e.g. ./...), parses every non-test file
+// of each matched package, and type-checks it against the module using the
+// standard library's source importer. The go toolchain must be on PATH.
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	listArgs := append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}\t{{range .GoFiles}}{{.}} {{end}}"}, patterns...)
+	cmd := exec.Command("go", listArgs...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	// One shared source importer caches dependency packages (including the
+	// module's own) across targets.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*LoadedPackage
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("unexpected go list line %q", line)
+		}
+		pkgDir, importPath := parts[0], parts[1]
+		names := strings.Fields(parts[2])
+		if len(names) == 0 {
+			continue
+		}
+		pkg, err := loadOne(fset, imp, pkgDir, importPath, names)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func loadOne(fset *token.FileSet, imp types.Importer, dir, importPath string, fileNames []string) (*LoadedPackage, error) {
+	pkg := &LoadedPackage{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		allowed:    map[string]map[int][]string{},
+	}
+	for _, name := range fileNames {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.collectAllowed(f)
+	}
+	pkg.Info = newInfo()
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tp
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// collectAllowed indexes `//lint:allow <analyzer> [reason]` comments by file
+// and line. A comment suppresses findings on its own line and, when it is
+// the only thing on its line, on the line directly below.
+func (p *LoadedPackage) collectAllowed(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:allow ") {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, "lint:allow "))
+			if len(fields) == 0 {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			lines := p.allowed[pos.Filename]
+			if lines == nil {
+				lines = map[int][]string{}
+				p.allowed[pos.Filename] = lines
+			}
+			// Cover the comment's own line (trailing form) and the line
+			// below (leading form).
+			lines[pos.Line] = append(lines[pos.Line], fields[0])
+			lines[pos.Line+1] = append(lines[pos.Line+1], fields[0])
+		}
+	}
+}
+
+// filterAllowed drops diagnostics suppressed by lint:allow comments in this
+// package's files; diagnostics from other packages pass through untouched.
+func (p *LoadedPackage) filterAllowed(diags []Diagnostic) []Diagnostic {
+	if len(p.allowed) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if lines, ok := p.allowed[d.Pos.Filename]; ok {
+			if names, ok := lines[d.Pos.Line]; ok && contains(names, d.Analyzer) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` statements over maps whose loop body feeds an
+// ordering decision. Go randomizes map iteration order, so any ordering
+// derived from it differs run to run — which silently breaks the
+// reproducibility of every permutation-producing pipeline.
+//
+// A map range is accepted only when its body is provably order-insensitive:
+//   - pure key collection `s = append(s, k)` where s is sorted later in the
+//     same function (the canonical sort-keys-first fix),
+//   - stores indexed by the loop key `a[k] = v` (each iteration owns a slot),
+//   - integer accumulation (`n++`, `n += <integer>`); float accumulation is
+//     rejected because float addition is not associative.
+//
+// Everything else — appends that are never sorted, argmax selection, float
+// sums, calls with side effects — is reported.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration whose order feeds an ordering decision",
+	Packages: []string{
+		"internal/community", "internal/core", "internal/reorder", "internal/partition",
+	},
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Files {
+		enclosingFuncs(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+					return false // literals are visited separately
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMap(pass.TypesInfo.TypeOf(rs.X)) {
+					return true
+				}
+				checkMapRange(pass, rs, body)
+				return true
+			})
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	keyName := identName(rs.Key)
+	var collected []string
+	for _, stmt := range rs.Body.List {
+		verdict, collectTarget := classifyMapRangeStmt(pass, stmt, keyName)
+		switch verdict {
+		case stmtCollect:
+			collected = append(collected, collectTarget)
+		case stmtSafe:
+		default:
+			pass.Reportf(rs.Range, "iteration order of map %s feeds an ordering-sensitive computation (%s); iterate sorted keys instead",
+				exprString(rs.X), verdict)
+			return
+		}
+	}
+	// Collected key slices must be sorted after the loop.
+	for _, target := range collected {
+		if !sortedAfter(funcBody, target, rs.End()) {
+			pass.Reportf(rs.Range, "keys of map %s are collected into %s but never sorted; map order leaks into %s",
+				exprString(rs.X), target, target)
+			return
+		}
+	}
+}
+
+type stmtVerdict string
+
+const (
+	stmtSafe    stmtVerdict = "safe"
+	stmtCollect stmtVerdict = "collect"
+)
+
+// classifyMapRangeStmt decides whether one statement inside a map-range body
+// is order-insensitive. It returns stmtCollect (and the slice name) for the
+// append-keys pattern, stmtSafe for per-key stores and integer accumulation,
+// and a human-readable reason string otherwise.
+func classifyMapRangeStmt(pass *Pass, stmt ast.Stmt, keyName string) (stmtVerdict, string) {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return stmtSafe, ""
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return "multi-assignment in map order", ""
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		switch s.Tok {
+		case token.ASSIGN:
+			// x = append(x, ...) collects; a[k] = v owns its slot.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeName(call) == "append" {
+				if target := identName(lhs); target != "" && len(call.Args) >= 1 && identName(call.Args[0]) == target {
+					return stmtCollect, target
+				}
+				return "append target aliasing in map order", ""
+			}
+			if idx, ok := lhs.(*ast.IndexExpr); ok && keyName != "" && identName(idx.Index) == keyName {
+				return stmtSafe, ""
+			}
+			return "assignment depends on map order", ""
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			if t := pass.TypesInfo.TypeOf(lhs); t != nil {
+				if isFloat(t) {
+					return "floating-point accumulation is order-dependent", ""
+				}
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					// Integer accumulation commutes — but only when the slot
+					// is the loop key's own or a scalar.
+					if idx, ok := lhs.(*ast.IndexExpr); ok {
+						if keyName != "" && identName(idx.Index) == keyName {
+							return stmtSafe, ""
+						}
+						return "indexed accumulation not keyed by the loop key", ""
+					}
+					return stmtSafe, ""
+				}
+			}
+			return "accumulation of non-integer type in map order", ""
+		default:
+			return "assignment depends on map order", ""
+		}
+	}
+	return "statement with side effects runs in map order", ""
+}
+
+// sortedAfter reports whether a sort call over the named slice appears in
+// the function body after pos.
+func sortedAfter(body *ast.BlockStmt, slice string, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch calleeName(call) {
+		case "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Ints", "Stable":
+			if len(call.Args) >= 1 && identName(call.Args[0]) == slice {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func identName(e ast.Expr) string {
+	if e == nil {
+		return ""
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// exprString renders a small expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.CallExpr:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = exprString(a)
+		}
+		return exprString(v.Fun) + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "expression"
+}

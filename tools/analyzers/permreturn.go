@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PermReturn flags exported functions and methods that return a Permutation
+// without ever invoking the validation helper. Every reorder output path
+// must pass through check.Perm / check.AssertPermutation (or call
+// Validate/ValidPermutation directly) so that `go test -tags check ./...`
+// verifies bijectivity at every boundary; a skipped assertion means a broken
+// technique can silently corrupt every downstream figure.
+var PermReturn = &Analyzer{
+	Name: "permreturn",
+	Doc:  "flags exported permutation producers that skip validation",
+	Packages: []string{
+		"internal/community", "internal/core", "internal/reorder",
+		"internal/partition", "internal/experiments",
+	},
+	Run: runPermReturn,
+}
+
+// validationCallees accepts a permutation when called anywhere in the body.
+var validationCallees = map[string]bool{
+	"AssertPermutation": true,
+	"ValidPermutation":  true,
+	"Validate":          true,
+	"IsValid":           true,
+}
+
+func runPermReturn(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if fd.Recv != nil && !exportedReceiver(fd.Recv) {
+				continue // methods on unexported types are internal plumbing
+			}
+			if !returnsPermutation(pass, fd.Type) {
+				continue
+			}
+			if callsValidation(fd.Body) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported %s returns a Permutation that is never validated; route the result through check.Perm or check.AssertPermutation",
+				fd.Name.Name)
+		}
+	}
+}
+
+// returnsPermutation reports whether any result is a (possibly imported)
+// named type called Permutation.
+func returnsPermutation(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Permutation" {
+			return true
+		}
+	}
+	return false
+}
+
+// callsValidation reports whether the body (or the check.Perm pass-through)
+// invokes one of the validation helpers.
+func callsValidation(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if validationCallees[name] {
+			found = true
+			return false
+		}
+		// check.Perm(p) is the validating pass-through.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Perm" {
+			if identName(sel.X) == "check" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exportedReceiver reports whether the method's receiver base type is
+// exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}

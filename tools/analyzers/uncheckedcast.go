@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedCast flags int32(...) conversions of dynamically sized values —
+// len(...), cap(...), and int/int64-returning calls such as NNZ() — that
+// are not guarded against overflow. Matrices approaching 2³¹ nonzeros wrap
+// these casts silently, corrupting offsets without any error.
+//
+// Conversions of loop variables and other already-int32-bounded arithmetic
+// are not flagged; the hazard is specifically quantities that grow with the
+// data. A conversion is accepted when its enclosing function either calls a
+// guard helper (check.SafeInt32, FitsInt32, or a local mustInt32) or
+// mentions math.MaxInt32 in an explicit bound check.
+var UncheckedCast = &Analyzer{
+	Name: "uncheckedcast",
+	Doc:  "flags unguarded int->int32 downcasts of dynamically sized values",
+	Run:  runUncheckedCast,
+}
+
+var guardNames = map[string]bool{
+	"SafeInt32": true,
+	"FitsInt32": true,
+	"mustInt32": true,
+}
+
+func runUncheckedCast(pass *Pass) {
+	for _, f := range pass.Files {
+		enclosingFuncs(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt, decl *ast.FuncDecl) {
+			if guardNames[name] {
+				return // the guard helper itself performs the raw cast
+			}
+			guarded := hasOverflowGuard(body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+					return false // literals are visited separately
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if !isInt32Conversion(pass, call) {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				inner, ok := arg.(*ast.CallExpr)
+				if !ok {
+					return true // identifiers/arithmetic: not a sized-value cast
+				}
+				if !isIntegerKind(pass.TypesInfo.TypeOf(arg), types.Int, types.Int64, types.Uint, types.Uint64) {
+					return true
+				}
+				if guarded {
+					return true
+				}
+				pass.Reportf(call.Pos(), "unguarded int32(%s) downcast: values near 2^31 wrap silently; use check.SafeInt32 or guard with math.MaxInt32",
+					exprString(inner))
+				return true
+			})
+		})
+	}
+}
+
+// isInt32Conversion reports whether the call is a type conversion to int32.
+func isInt32Conversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	return isIntegerKind(tv.Type, types.Int32)
+}
+
+// hasOverflowGuard reports whether the body calls a guard helper or
+// references math.MaxInt32.
+func hasOverflowGuard(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if guardNames[calleeName(v)] {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if v.Sel.Name == "MaxInt32" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
