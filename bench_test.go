@@ -56,6 +56,26 @@ func benchExperiment(b *testing.B, id string, names ...string) {
 	}
 }
 
+// benchSuite regenerates the entire registered suite (every paper table
+// and figure) per iteration on a fresh runner with the given worker-pool
+// width. Serial vs parallel is the scheduler's headline speedup;
+// scripts/bench.sh turns the pair into BENCH_experiments.json.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	cfg := experiments.SmallConfig()
+	cfg.Matrices = benchSubset
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(cfg)
+		if err := experiments.RunAll(r, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 4) }
+
 func BenchmarkTableIDeviceSpec(b *testing.B)  { benchExperiment(b, "device") }
 func BenchmarkFig2Traffic(b *testing.B)       { benchExperiment(b, "fig2") }
 func BenchmarkFig3Insularity(b *testing.B)    { benchExperiment(b, "fig3") }

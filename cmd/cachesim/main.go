@@ -4,7 +4,11 @@
 // Usage:
 //
 //	cachesim -in a.mtx [-techniques RANDOM,RABBIT,RABBIT++] [-kernel spmv-csr]
-//	         [-l2 262144] [-line 128] [-ways 16] [-belady]
+//	         [-l2 262144] [-line 128] [-ways 16] [-belady] [-workers n]
+//
+// Techniques are reordered and simulated concurrently on a bounded worker
+// pool (-workers, default all CPUs); the table rows keep the -techniques
+// order regardless of completion order.
 package main
 
 import (
@@ -12,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/cachesim"
 	"repro/internal/gpumodel"
@@ -37,9 +43,16 @@ func run() error {
 		l2     = flag.Int64("l2", 256<<10, "L2 capacity in bytes")
 		line   = flag.Int64("line", 128, "cache line size in bytes")
 		ways   = flag.Int("ways", 16, "associativity")
-		belady = flag.Bool("belady", false, "also simulate Belady-optimal replacement")
+		belady  = flag.Bool("belady", false, "also simulate Belady-optimal replacement")
+		workers = flag.Int("workers", 0, "concurrent technique simulations (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers == 0 {
+		*workers = runtime.NumCPU()
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -88,23 +101,47 @@ func run() error {
 			return trace.SpMVCSR(pm, *line)
 		}
 	}
-	for _, name := range strings.Split(*techs, ",") {
-		t, err := reorder.ByName(strings.TrimSpace(name))
+	// Reorder and simulate the techniques concurrently; rows land in
+	// their -techniques slot so output order is deterministic.
+	names := strings.Split(*techs, ",")
+	rows := make([][]string, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t, err := reorder.ByName(strings.TrimSpace(name))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			pm := m.PermuteSymmetric(t.Order(m))
+			s := cachesim.SimulateLRU(cfg, traceFor(pm))
+			row := []string{
+				t.Name(),
+				report.X(gpumodel.NormalizedTraffic(s, k, n, nnz)),
+				report.Pct(s.HitRate()),
+				report.Pct(s.DeadLineFraction()),
+			}
+			if *belady {
+				bs := cachesim.SimulateBelady(cfg, cachesim.RecordTrace(traceFor(pm)))
+				row = append(row, report.X(gpumodel.NormalizedTraffic(bs, k, n, nnz)))
+			}
+			rows[i] = row
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		pm := m.PermuteSymmetric(t.Order(m))
-		s := cachesim.SimulateLRU(cfg, traceFor(pm))
-		row := []string{
-			t.Name(),
-			report.X(gpumodel.NormalizedTraffic(s, k, n, nnz)),
-			report.Pct(s.HitRate()),
-			report.Pct(s.DeadLineFraction()),
-		}
-		if *belady {
-			bs := cachesim.SimulateBelady(cfg, cachesim.RecordTrace(traceFor(pm)))
-			row = append(row, report.X(gpumodel.NormalizedTraffic(bs, k, n, nnz)))
-		}
+	}
+	for _, row := range rows {
 		tb.Add(row...)
 	}
 	tb.Note("traffic is normalized to the kernel's analytic compulsory traffic")

@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-corpus small|full] [-matrices a,b,c] [-csv] [-v]
+//	experiments [-run id[,id...]] [-corpus small|full] [-matrices a,b,c]
+//	            [-workers n] [-csv] [-v]
 //
 // Run "experiments -list" for the experiment inventory. With no -run flag
 // every experiment runs, sharing one corpus and its cached intermediate
@@ -36,6 +37,7 @@ func run() error {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		ablate   = flag.Bool("ablations", false, "run the ablation suite instead of the paper experiments")
 		outdir   = flag.String("outdir", "", "also write each result as <outdir>/<id>.csv")
+		workers  = flag.Int("workers", 0, "concurrent simulation workers (0 = all CPUs, 1 = serial)")
 		verbose  = flag.Bool("v", false, "log per-matrix progress to stderr")
 		list     = flag.Bool("list", false, "list experiments and corpus matrices, then exit")
 	)
@@ -71,9 +73,14 @@ func run() error {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	cfg.Workers = *workers
 	runner := experiments.NewRunner(cfg)
 
-	fmt.Printf("# corpus=%s device=%q matrices=%d\n", cfg.Preset, cfg.Device.Name, len(runner.Entries()))
+	fmt.Printf("# corpus=%s device=%q matrices=%d workers=%d\n",
+		cfg.Preset, cfg.Device.Name, len(runner.Entries()), runner.Workers())
 	_ = gpumodel.A6000() // keep the real spec linked for -list users reading the source
 
 	render := func(tb interface {

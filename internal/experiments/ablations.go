@@ -18,6 +18,10 @@ import (
 // choices DESIGN.md calls out (cache geometry, GORDER's window, the
 // community detector, the serial-trace assumption, and the tiling
 // interaction the paper leaves as future work).
+//
+// Each ablation computes its per-matrix rows through the scheduler
+// (forNames fans the matrices across the worker pool) and appends them in
+// pick order, so the rendered tables are independent of completion order.
 
 // pickEntries returns up to k structurally spread corpus entries from the
 // runner's configured subset.
@@ -50,6 +54,21 @@ func pickEntries(r *Runner, k int) []string {
 	return out
 }
 
+// ablate runs perMatrix over the picked entries on the worker pool and
+// appends each matrix's rows to the table in pick order.
+func ablate(r *Runner, tb *report.Table, names []string, perMatrix func(md *MatrixData) ([][]string, error)) error {
+	rows, err := forNames(r, names, perMatrix)
+	if err != nil {
+		return err
+	}
+	for _, rs := range rows {
+		for _, row := range rs {
+			tb.Add(row...)
+		}
+	}
+	return nil
+}
+
 // AblCacheSweep sweeps the L2 capacity and reports SpMV traffic for
 // RANDOM, RABBIT, and RABBIT++ — the working-set view behind the paper's
 // Observation 2 (reaching ideal is about structure, not size, once the
@@ -68,21 +87,22 @@ func AblCacheSweep(r *Runner) (*report.Table, error) {
 		cols = append(cols, fmt.Sprintf("%dKB", c>>10))
 	}
 	tb := report.New("Ablation: SpMV traffic vs L2 capacity (normalized to compulsory)", cols...)
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range techs {
 			pm := md.M.PermuteSymmetric(r.Perm(md, t))
-			row := []string{name, t.Name()}
+			row := []string{md.Entry.Name, t.Name()}
 			for _, c := range capacities {
 				cfg := cachesim.Config{CapacityBytes: c, LineBytes: base.LineBytes, Ways: base.Ways}
 				s := cachesim.SimulateLRU(cfg, trace.SpMVCSR(pm, base.LineBytes))
 				row = append(row, report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)))
 			}
-			tb.Add(row...)
+			out = append(out, row)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("good orderings shrink the working set, flattening the capacity curve early")
 	return tb, nil
@@ -93,11 +113,8 @@ func AblCacheSweep(r *Runner) (*report.Table, error) {
 func AblGorderWindow(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: GORDER window width (traffic and preprocessing time)",
 		"matrix", "window", "traffic", "reorder-time")
-	for _, name := range pickEntries(r, 2) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 2), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, w := range []int{2, 5, 10, 20} {
 			g := reorder.Gorder{Window: w}
 			start := time.Now()
@@ -105,10 +122,14 @@ func AblGorderWindow(r *Runner) (*report.Table, error) {
 			elapsed := time.Since(start)
 			pm := md.M.PermuteSymmetric(p)
 			s := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSR(pm, r.cfg.Device.L2.LineBytes))
-			tb.Add(name, fmt.Sprintf("%d", w),
+			out = append(out, []string{md.Entry.Name, fmt.Sprintf("%d", w),
 				report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)),
-				fmt.Sprintf("%.3fs", elapsed.Seconds()))
+				fmt.Sprintf("%.3fs", elapsed.Seconds())})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("wider windows buy little locality for sharply growing cost (the paper uses w=5)")
 	return tb, nil
@@ -125,22 +146,23 @@ func AblDetector(r *Runner) (*report.Table, error) {
 	}
 	tb := report.New("Ablation: community detector choice",
 		"matrix", "technique", "traffic", "runtime", "reorder-time")
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range techs {
 			start := time.Now()
 			p := t.Order(md.M)
 			elapsed := time.Since(start)
 			pm := md.M.PermuteSymmetric(p)
 			s := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSR(pm, r.cfg.Device.L2.LineBytes))
-			tb.Add(name, t.Name(),
+			out = append(out, []string{md.Entry.Name, t.Name(),
 				report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)),
 				report.X(gpumodel.NormalizedRuntime(r.cfg.Device, s, SpMV, md.N, md.NNZ)),
-				fmt.Sprintf("%.3fs", elapsed.Seconds()))
+				fmt.Sprintf("%.3fs", elapsed.Seconds())})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("the paper picks RABBIT for quality at low preprocessing cost; this table quantifies both")
 	return tb, nil
@@ -159,20 +181,21 @@ func AblInterleave(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: trace interleaving (SpMV traffic normalized to compulsory)",
 		"matrix", "technique", "serial", "8 groups", "64 groups")
 	line := r.cfg.Device.L2.LineBytes
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range techs {
 			pm := md.M.PermuteSymmetric(r.Perm(md, t))
-			row := []string{name, t.Name()}
+			row := []string{md.Entry.Name, t.Name()}
 			for _, groups := range []int32{1, 8, 64} {
 				s := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSRInterleaved(pm, line, groups))
 				row = append(row, report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)))
 			}
-			tb.Add(row...)
+			out = append(out, row)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("the technique ranking should be invariant to interleaving; absolute traffic may drift")
 	return tb, nil
@@ -186,19 +209,20 @@ func AblTiled(r *Runner) (*report.Table, error) {
 		"matrix", "technique", "untiled", "tiled")
 	line := r.cfg.Device.L2.LineBytes
 	tile := int32(r.cfg.Device.L2.CapacityBytes / 8) // tile X-slice = half the L2 in elements
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range []reorder.Technique{reorder.Random{Seed: 0xC0FFEE}, reorder.RabbitPP{}} {
 			pm := md.M.PermuteSymmetric(r.Perm(md, t))
 			un := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSR(pm, line))
 			ti := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSRTiled(pm, line, tile))
-			tb.Add(name, t.Name(),
+			out = append(out, []string{md.Entry.Name, t.Name(),
 				report.X(gpumodel.NormalizedTraffic(un, SpMV, md.N, md.NNZ)),
-				report.X(gpumodel.NormalizedTraffic(ti, SpMV, md.N, md.NNZ)))
+				report.X(gpumodel.NormalizedTraffic(ti, SpMV, md.N, md.NNZ))})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("tiling bounds the irregular footprint for bad orderings; reordering reduces the need to tile")
 	return tb, nil
@@ -212,20 +236,21 @@ func AblQuality(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: ordering-quality metrics (cache-model independent)",
 		"matrix", "technique", "avg-edge-dist", "mean-log2-gap", "line-packing", "workset/N")
 	line := r.cfg.Device.L2.LineBytes
-	for _, name := range pickEntries(r, 2) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 2), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range techs {
 			p := r.Perm(md, t)
 			s := quality.Measure(md.M, p, line, 256)
-			tb.Add(name, t.Name(),
+			out = append(out, []string{md.Entry.Name, t.Name(),
 				fmt.Sprintf("%.0f", s.AvgEdgeDistance),
 				report.F(s.MeanLog2Gap),
 				report.F(s.LinePacking),
-				report.F(s.NormalizedWorkingSet(md.M.NumRows)))
+				report.F(s.NormalizedWorkingSet(md.M.NumRows))})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("lower distance/gap/working-set and higher packing predict lower simulated traffic")
 	return tb, nil
@@ -236,17 +261,19 @@ func AblQuality(r *Runner) (*report.Table, error) {
 func CorpusTable(r *Runner) (*report.Table, error) {
 	tb := report.New("Corpus: the 50-matrix evaluation dataset (Section III analog)",
 		"matrix", "family", "source", "rows", "nnz", "avg-deg", "skew", "empty-rows", "insularity")
-	for _, e := range r.Entries() {
-		md, err := r.Matrix(e.Name)
-		if err != nil {
-			return nil, err
-		}
-		tb.Add(e.Name, e.Family, e.Source,
+	rows, err := forEntries(r, func(md *MatrixData) ([]string, error) {
+		return []string{md.Entry.Name, md.Entry.Family, md.Entry.Source,
 			fmt.Sprintf("%d", md.N), fmt.Sprintf("%d", md.NNZ),
 			fmt.Sprintf("%.1f", md.M.AverageDegree()),
 			report.Pct(md.M.DegreeSkew(0.10)),
-			report.Pct(float64(md.M.EmptyRows())/float64(md.N)),
-			report.F(md.Stats().Insularity))
+			report.Pct(float64(md.M.EmptyRows()) / float64(md.N)),
+			report.F(md.Stats().Insularity)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		tb.Add(row...)
 	}
 	tb.Note("selection rule: square, input-vector footprint > L2 capacity, one matrix per publisher group")
 	return tb, nil
@@ -256,19 +283,20 @@ func CorpusTable(r *Runner) (*report.Table, error) {
 func AblDetectorQuality(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: detector community quality",
 		"matrix", "detector", "communities", "insularity", "modularity")
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
 		rb := md.Rabbit()
-		tb.Add(name, "RABBIT", fmt.Sprintf("%d", rb.Communities.Count),
-			report.F(community.Insularity(md.M, rb.Communities)),
-			report.F(community.Modularity(md.M, rb.Communities)))
 		lv := community.Louvain(md.M.Symmetrize(), community.LouvainOptions{})
-		tb.Add(name, "LOUVAIN", fmt.Sprintf("%d", lv.Count),
-			report.F(community.Insularity(md.M, lv)),
-			report.F(community.Modularity(md.M, lv)))
+		return [][]string{
+			{md.Entry.Name, "RABBIT", fmt.Sprintf("%d", rb.Communities.Count),
+				report.F(community.Insularity(md.M, rb.Communities)),
+				report.F(community.Modularity(md.M, rb.Communities))},
+			{md.Entry.Name, "LOUVAIN", fmt.Sprintf("%d", lv.Count),
+				report.F(community.Insularity(md.M, lv)),
+				report.F(community.Modularity(md.M, lv))},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tb, nil
 }
@@ -298,21 +326,22 @@ func AblResolution(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: RABBIT resolution parameter",
 		"matrix", "gamma", "communities", "avg-size", "insularity", "traffic")
 	line := r.cfg.Device.L2.LineBytes
-	for _, name := range pickEntries(r, 2) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 2), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, gamma := range []float64{0.25, 0.5, 1.0, 2.0, 4.0} {
 			rr := core.RabbitResolution(md.M, gamma)
 			pm := md.M.PermuteSymmetric(rr.Perm)
 			s := cachesim.SimulateLRU(r.cfg.Device.L2, trace.SpMVCSR(pm, line))
-			tb.Add(name, fmt.Sprintf("%.2f", gamma),
+			out = append(out, []string{md.Entry.Name, fmt.Sprintf("%.2f", gamma),
 				fmt.Sprintf("%d", rr.Communities.Count),
 				fmt.Sprintf("%.1f", rr.Communities.AverageSize()),
 				report.F(community.Insularity(md.M, rr.Communities)),
-				report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)))
+				report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ))})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("gamma=1 is standard modularity; the sweep shows the default is a sound choice")
 	return tb, nil
@@ -327,22 +356,23 @@ func AblPolicy(r *Runner) (*report.Table, error) {
 	tb := report.New("Ablation: replacement policy (SpMV traffic normalized to compulsory)",
 		"matrix", "technique", "LRU", "PLRU", "RANDOM-repl", "Belady")
 	line := r.cfg.Device.L2.LineBytes
-	for _, name := range pickEntries(r, 2) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 2), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range []reorder.Technique{reorder.Random{Seed: 0xC0FFEE}, reorder.RabbitPP{}} {
 			pm := md.M.PermuteSymmetric(r.Perm(md, t))
-			row := []string{name, t.Name()}
+			row := []string{md.Entry.Name, t.Name()}
 			for _, p := range []cachesim.Policy{cachesim.PolicyLRU, cachesim.PolicyPLRU, cachesim.PolicyRandom} {
 				s := cachesim.Simulate(r.cfg.Device.L2, p, trace.SpMVCSR(pm, line))
 				row = append(row, report.X(gpumodel.NormalizedTraffic(s, SpMV, md.N, md.NNZ)))
 			}
-			bs := cachesim.SimulateBelady(r.cfg.Device.L2, cachesim.RecordTrace(trace.SpMVCSR(pm, line)))
+			bs := r.SimBelady(md, t, SpMV)
 			row = append(row, report.X(gpumodel.NormalizedTraffic(bs, SpMV, md.N, md.NNZ)))
-			tb.Add(row...)
+			out = append(out, row)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("technique rankings should be policy-invariant; PLRU tracks LRU closely")
 	return tb, nil
@@ -358,16 +388,17 @@ func AblPushPull(r *Runner) (*report.Table, error) {
 	pull := gpumodel.Kernel{Kind: gpumodel.SpMVCSC}
 	tb := report.New("Ablation: push (CSR) vs pull (CSC) SpMV traffic (normalized to compulsory)",
 		"matrix", "technique", "push", "pull")
-	for _, name := range pickEntries(r, 3) {
-		md, err := r.Matrix(name)
-		if err != nil {
-			return nil, err
-		}
+	err := ablate(r, tb, pickEntries(r, 3), func(md *MatrixData) ([][]string, error) {
+		var out [][]string
 		for _, t := range []reorder.Technique{reorder.Random{Seed: 0xC0FFEE}, reorder.Rabbit{}, reorder.RabbitPP{}} {
-			tb.Add(name, t.Name(),
+			out = append(out, []string{md.Entry.Name, t.Name(),
 				report.X(r.NormTraffic(md, t, push)),
-				report.X(r.NormTraffic(md, t, pull)))
+				report.X(r.NormTraffic(md, t, pull))})
 		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tb.Note("symmetric permutations localize rows and columns together, so gains transfer across directions")
 	return tb, nil

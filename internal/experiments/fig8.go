@@ -15,6 +15,11 @@ func Fig8(r *Runner) (*report.Table, error) {
 	techs := append(reorder.Figure2(), reorder.RabbitPP{})
 	tb := report.New("Figure 8: LRU vs Belady-optimal L2 traffic (normalized to compulsory)",
 		"technique", "LRU", "Belady", "headroom")
+	units := SimUnits(r.Entries(), techs, SpMV)
+	units = append(units, BeladyUnits(r.Entries(), techs, SpMV)...)
+	if err := r.Prefetch(units); err != nil {
+		return nil, err
+	}
 	for _, t := range techs {
 		var lru, opt []float64
 		for _, e := range r.Entries() {
@@ -25,7 +30,6 @@ func Fig8(r *Runner) (*report.Table, error) {
 			lru = append(lru, r.NormTraffic(md, t, SpMV))
 			bs := r.SimBelady(md, t, SpMV)
 			opt = append(opt, gpumodel.NormalizedTraffic(bs, SpMV, md.N, md.NNZ))
-			r.progress("belady    %-24s %-16s", e.Name, t.Name())
 		}
 		ml, mo := metrics.Mean(lru), metrics.Mean(opt)
 		tb.Add(t.Name(), report.X(ml), report.X(mo), report.Pct(ml/mo-1))

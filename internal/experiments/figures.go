@@ -18,6 +18,9 @@ import (
 // mean traffic and mean run-time rows.
 func Fig2(r *Runner) (*report.Table, error) {
 	techs := reorder.Figure2()
+	if err := r.Prefetch(SimUnits(r.Entries(), techs, SpMV)); err != nil {
+		return nil, err
+	}
 	cols := []string{"matrix", "insularity"}
 	for _, t := range techs {
 		cols = append(cols, t.Name())
@@ -63,18 +66,16 @@ func Fig3(r *Runner) (*report.Table, error) {
 		runtime    float64
 		commNorm   float64
 	}
-	var rows []row
-	for _, e := range r.Entries() {
-		md, err := r.Matrix(e.Name)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row{
-			name:       e.Name,
+	rows, err := forEntries(r, func(md *MatrixData) (row, error) {
+		return row{
+			name:       md.Entry.Name,
 			insularity: md.Stats().Insularity,
 			runtime:    r.NormRuntime(md, reorder.Rabbit{}, SpMV),
 			commNorm:   md.Stats().AvgCommunitySizeNorm,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].insularity < rows[b].insularity })
 
@@ -99,6 +100,9 @@ func Fig3(r *Runner) (*report.Table, error) {
 // insularity with normalized community size (excluding the mawi anomaly)
 // and with degree skew, plus the class mean skews.
 func Correlations(r *Runner) (*report.Table, error) {
+	if err := r.Prefetch(StatsUnits(r.Entries())); err != nil {
+		return nil, err
+	}
 	var ins, commSize, skew []float64
 	var insNoMawi, commSizeNoMawi []float64
 	var skewLo, skewHi []float64
@@ -140,13 +144,11 @@ func Fig4(r *Runner) (*report.Table, error) {
 		insularity   float64
 		insularNodes float64
 	}
-	var rows []row
-	for _, e := range r.Entries() {
-		md, err := r.Matrix(e.Name)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row{e.Name, md.Stats().Insularity, md.Stats().InsularNodeFraction})
+	rows, err := forEntries(r, func(md *MatrixData) (row, error) {
+		return row{md.Entry.Name, md.Stats().Insularity, md.Stats().InsularNodeFraction}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].insularity < rows[b].insularity })
 	tb := report.New("Figure 4: percentage of insular nodes (by increasing insularity)",
@@ -172,24 +174,35 @@ func Fig6(r *Runner) (*report.Table, error) {
 	tb := report.New("Figure 6: insular sub-matrix traffic normalized to its compulsory traffic",
 		"matrix", "insular-nodes", "traffic")
 	variant := reorder.RabbitVariant{Opts: core.Options{GroupInsular: true}}
-	var vals []float64
-	for _, e := range r.Entries() {
-		md, err := r.Matrix(e.Name)
-		if err != nil {
-			return nil, err
-		}
+	type row struct {
+		insularFrac float64
+		traffic     float64
+		hasNNZ      bool
+	}
+	rows, err := forEntries(r, func(md *MatrixData) (row, error) {
 		insular := r.InsularMask(md)
 		masked := md.M.MaskRowsCols(insular)
 		if masked.NNZ() == 0 {
-			tb.Add(e.Name, report.Pct(0), "n/a")
-			continue
+			return row{}, nil
 		}
 		p := r.Perm(md, variant)
 		pm := masked.PermuteSymmetric(p)
 		s := simCSR(r, pm)
 		nt := gpumodel.NormalizedTraffic(s, SpMV, int64(pm.NumRows), int64(pm.NNZ()))
-		vals = append(vals, nt)
-		tb.Add(e.Name, report.Pct(md.Stats().InsularNodeFraction), report.X(nt))
+		return row{insularFrac: md.Stats().InsularNodeFraction, traffic: nt, hasNNZ: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	for i, e := range r.Entries() {
+		rw := rows[i]
+		if !rw.hasNNZ {
+			tb.Add(e.Name, report.Pct(0), "n/a")
+			continue
+		}
+		vals = append(vals, rw.traffic)
+		tb.Add(e.Name, report.Pct(rw.insularFrac), report.X(rw.traffic))
 	}
 	tb.Note("mean %s; paper: the insular portion achieves ideal traffic (wiki-Talk below 1.0 via empty rows)",
 		report.X(metrics.Mean(vals)))
@@ -202,6 +215,10 @@ func Fig6(r *Runner) (*report.Table, error) {
 func Fig7(r *Runner) (*report.Table, error) {
 	tb := report.New("Figure 7: RABBIT++ DRAM traffic reduction over RABBIT (insularity < 0.95)",
 		"matrix", "insularity", "RABBIT", "RABBIT++", "reduction")
+	if err := r.Prefetch(SimUnits(r.Entries(),
+		[]reorder.Technique{reorder.Rabbit{}, reorder.RabbitPP{}}, SpMV)); err != nil {
+		return nil, err
+	}
 	var reductions, all, allHi []float64
 	for _, e := range r.Entries() {
 		md, err := r.Matrix(e.Name)

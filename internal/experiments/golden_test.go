@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenExperiments are the suite members pinned by committed golden
+// renders: the headline traffic figure, the design-space table, and the
+// observation statistics. Together they cover every SimLRU path, the
+// class-mean aggregation, and the argmax-style reductions — if the
+// scheduler ever reordered an aggregation or dropped a unit, at least one
+// of these drifts.
+var goldenExperiments = []string{"fig2", "table2", "obs"}
+
+// TestGolden regenerates each pinned experiment on the Small-corpus test
+// subset at Workers=1 (the historical serial behaviour) and at
+// Workers=NumCPU, and diffs both renders against testdata/golden/<id>.tsv
+// — parallelization must provably change no numbers. Regenerate the
+// goldens after an intentional modeling change with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+func TestGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates three experiments twice; skipped in -short")
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := SmallConfig()
+			cfg.Matrices = subset
+			cfg.Workers = workers
+			r := NewRunner(cfg)
+			for _, id := range goldenExperiments {
+				id := id
+				t.Run(id, func(t *testing.T) {
+					e, err := ByID(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tb, err := e.Run(r)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := tb.RenderTSV(&buf); err != nil {
+						t.Fatal(err)
+					}
+					path := filepath.Join("testdata", "golden", id+".tsv")
+					if *update && workers == 1 {
+						if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden file (regenerate with -update): %v", err)
+					}
+					if !bytes.Equal(buf.Bytes(), want) {
+						t.Fatalf("%s drifted from %s at workers=%d\n--- got ---\n%s--- want ---\n%s"+
+							"regenerate after an intentional change with: go test ./internal/experiments -run TestGolden -update",
+							id, path, workers, buf.String(), want)
+					}
+				})
+			}
+		})
+	}
+}

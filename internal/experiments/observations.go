@@ -18,6 +18,9 @@ import (
 //     technique on the rest (paper: 11% on average)?
 func Observations(r *Runner) (*report.Table, error) {
 	techs := reorder.Figure2()
+	if err := r.Prefetch(SimUnits(r.Entries(), techs, SpMV)); err != nil {
+		return nil, err
+	}
 	within10 := 0
 	rabbitBest := 0
 	var rabbitGapWhenNotBest []float64

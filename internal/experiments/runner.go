@@ -7,12 +7,18 @@
 //
 // A Runner lazily generates each corpus matrix once and caches the
 // expensive intermediates (RABBIT's detection, permutations, cache
-// simulations) so the full suite shares work across experiments.
+// simulations) so the full suite shares work across experiments. The
+// scheduler (scheduler.go) fans the (matrix × technique × kernel) units
+// each figure needs across a bounded worker pool; every cache is guarded
+// by per-key in-flight dedup, so the units execute exactly once no matter
+// how many figures request them concurrently, and each figure aggregates
+// its table serially in corpus order from the warm caches.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"repro/internal/cachesim"
@@ -34,8 +40,11 @@ type Config struct {
 	// Matrices restricts the corpus to the named entries; nil runs all 50.
 	Matrices []string
 	// Progress, when non-nil, receives one line per completed unit of
-	// work.
+	// work. Writes are serialized by the Runner.
 	Progress io.Writer
+	// Workers bounds how many scheduler units run concurrently.
+	// 0 means runtime.NumCPU(); 1 reproduces the serial behaviour.
+	Workers int
 }
 
 // SmallConfig pairs the Small corpus preset with the matching scaled
@@ -65,9 +74,13 @@ type MatrixData struct {
 	rabbit *core.RabbitResult
 	stats  core.CommunityStats
 
-	mu    sync.Mutex
-	perms map[string]sparse.Permutation
-	sims  map[string]cachesim.Stats
+	// mu guards the cache maps only; it is never held across a
+	// reordering or simulation — the Runner's flightGroup provides the
+	// per-key in-flight exclusion instead.
+	mu      sync.Mutex
+	perms   map[string]sparse.Permutation
+	sims    map[string]cachesim.Stats
+	beladys map[string]cachesim.Stats
 }
 
 // Rabbit returns the cached RABBIT detection result.
@@ -91,20 +104,46 @@ func (md *MatrixData) HighInsularity() bool {
 	return md.Stats().Insularity >= InsularityThreshold
 }
 
-// Runner owns the corpus and its caches.
+// Runner owns the corpus, its caches, and the worker pool.
 type Runner struct {
-	cfg  Config
+	cfg Config
+	// sem is the bounded worker pool: every scheduler unit holds one
+	// slot while it runs. Unit bodies never re-acquire, so the pool
+	// cannot deadlock on itself.
+	sem chan struct{}
+	// flight dedupes in-flight cache fills per key, so concurrent
+	// figures requesting the same unit wait for one execution instead
+	// of redoing it.
+	flight flightGroup
+
 	mu   sync.Mutex
 	data map[string]*MatrixData
+
+	progressMu sync.Mutex
+
+	countMu    sync.Mutex
+	unitCounts map[string]int
 }
 
 // NewRunner builds a Runner over the configured corpus subset.
 func NewRunner(cfg Config) *Runner {
-	return &Runner{cfg: cfg, data: make(map[string]*MatrixData)}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Runner{
+		cfg:        cfg,
+		sem:        make(chan struct{}, workers),
+		data:       make(map[string]*MatrixData),
+		unitCounts: make(map[string]int),
+	}
 }
 
 // Config returns the runner's configuration.
 func (r *Runner) Config() Config { return r.cfg }
+
+// Workers returns the size of the runner's worker pool.
+func (r *Runner) Workers() int { return cap(r.sem) }
 
 // Entries returns the corpus entries this runner covers, in corpus order.
 func (r *Runner) Entries() []gen.Entry {
@@ -126,6 +165,7 @@ func (r *Runner) Entries() []gen.Entry {
 }
 
 // Matrix returns (generating on first use) the named corpus matrix.
+// Concurrent callers of the same name share one generation.
 func (r *Runner) Matrix(name string) (*MatrixData, error) {
 	r.mu.Lock()
 	md, ok := r.data[name]
@@ -137,56 +177,103 @@ func (r *Runner) Matrix(name string) (*MatrixData, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := entry.Generate(r.cfg.Preset)
-	md = &MatrixData{
-		Entry: entry,
-		M:     m,
-		N:     int64(m.NumRows),
-		NNZ:   int64(m.NNZ()),
-		perms: make(map[string]sparse.Permutation),
-		sims:  make(map[string]cachesim.Stats),
-	}
+	r.flight.do("matrix|"+name, func() {
+		r.mu.Lock()
+		_, done := r.data[name]
+		r.mu.Unlock()
+		if done {
+			return
+		}
+		m := entry.Generate(r.cfg.Preset)
+		d := &MatrixData{
+			Entry:   entry,
+			M:       m,
+			N:       int64(m.NumRows),
+			NNZ:     int64(m.NNZ()),
+			perms:   make(map[string]sparse.Permutation),
+			sims:    make(map[string]cachesim.Stats),
+			beladys: make(map[string]cachesim.Stats),
+		}
+		r.countUnit("matrix|" + name)
+		r.mu.Lock()
+		r.data[name] = d
+		r.mu.Unlock()
+		r.progress("generated %-24s %8d rows %10d nnz", name, d.N, d.NNZ)
+	})
 	r.mu.Lock()
-	if prior, ok := r.data[name]; ok {
-		md = prior // another caller won the race
-	} else {
-		r.data[name] = md
-	}
+	md = r.data[name]
 	r.mu.Unlock()
-	r.progress("generated %-24s %8d rows %10d nnz", name, md.N, md.NNZ)
 	return md, nil
 }
 
 func (r *Runner) progress(format string, args ...interface{}) {
-	if r.cfg.Progress != nil {
-		fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+	if r.cfg.Progress == nil {
+		return
 	}
+	r.progressMu.Lock()
+	fmt.Fprintf(r.cfg.Progress, format+"\n", args...)
+	r.progressMu.Unlock()
+}
+
+// countUnit records one actual execution of an expensive unit; the
+// scheduler's dedup guarantees each key counts exactly once per Runner.
+func (r *Runner) countUnit(key string) {
+	r.countMu.Lock()
+	r.unitCounts[key]++
+	r.countMu.Unlock()
+}
+
+// UnitCounts returns a snapshot of how many times each expensive unit
+// (generation, permutation, simulation) actually executed. The stress
+// tests assert every count is exactly 1 under concurrent figures.
+func (r *Runner) UnitCounts() map[string]int {
+	r.countMu.Lock()
+	defer r.countMu.Unlock()
+	out := make(map[string]int, len(r.unitCounts))
+	for k, v := range r.unitCounts {
+		out[k] = v
+	}
+	return out
 }
 
 // Perm returns the cached permutation of the technique on the matrix.
 // RABBIT-derived techniques share the underlying community detection.
 func (r *Runner) Perm(md *MatrixData, tech reorder.Technique) sparse.Permutation {
+	name := tech.Name()
 	md.mu.Lock()
-	p, ok := md.perms[tech.Name()]
+	p, ok := md.perms[name]
 	md.mu.Unlock()
 	if ok {
 		return p
 	}
-	switch t := tech.(type) {
-	case reorder.Rabbit:
-		p = md.Rabbit().Perm
-	case reorder.RabbitPP:
-		p = core.ModifyRabbit(md.M, md.Rabbit(), core.PlusPlusOptions()).Perm
-	case reorder.RabbitVariant:
-		p = core.ModifyRabbit(md.M, md.Rabbit(), t.Opts).Perm
-	default:
-		p = tech.Order(md.M)
-	}
-	check.AssertPermutation(p)
+	r.flight.do(md.Entry.Name+"|perm|"+name, func() {
+		md.mu.Lock()
+		_, done := md.perms[name]
+		md.mu.Unlock()
+		if done {
+			return
+		}
+		var p sparse.Permutation
+		switch t := tech.(type) {
+		case reorder.Rabbit:
+			p = md.Rabbit().Perm
+		case reorder.RabbitPP:
+			p = core.ModifyRabbit(md.M, md.Rabbit(), core.PlusPlusOptions()).Perm
+		case reorder.RabbitVariant:
+			p = core.ModifyRabbit(md.M, md.Rabbit(), t.Opts).Perm
+		default:
+			p = tech.Order(md.M)
+		}
+		check.AssertPermutation(p)
+		r.countUnit("perm|" + md.Entry.Name + "|" + name)
+		md.mu.Lock()
+		md.perms[name] = p
+		md.mu.Unlock()
+		r.progress("ordered   %-24s %s", md.Entry.Name, name)
+	})
 	md.mu.Lock()
-	md.perms[tech.Name()] = p
+	p = md.perms[name]
 	md.mu.Unlock()
-	r.progress("ordered   %-24s %s", md.Entry.Name, tech.Name())
 	return p
 }
 
@@ -200,20 +287,58 @@ func (r *Runner) SimLRU(md *MatrixData, tech reorder.Technique, k gpumodel.Kerne
 	if ok {
 		return s
 	}
-	s = cachesim.SimulateLRU(r.cfg.Device.L2, r.traceFor(md, tech, k))
+	r.flight.do(md.Entry.Name+"|lru|"+key, func() {
+		md.mu.Lock()
+		_, done := md.sims[key]
+		md.mu.Unlock()
+		if done {
+			return
+		}
+		s := cachesim.SimulateLRU(r.cfg.Device.L2, r.traceFor(md, tech, k))
+		r.countUnit("lru|" + md.Entry.Name + "|" + key)
+		md.mu.Lock()
+		md.sims[key] = s
+		md.mu.Unlock()
+		r.progress("simulated %-24s %-16s %-12s traffic=%.2fx", md.Entry.Name, tech.Name(), k.String(),
+			gpumodel.NormalizedTraffic(s, k, md.N, md.NNZ))
+	})
 	md.mu.Lock()
-	md.sims[key] = s
+	s = md.sims[key]
 	md.mu.Unlock()
-	r.progress("simulated %-24s %-16s %-12s traffic=%.2fx", md.Entry.Name, tech.Name(), k.String(),
-		gpumodel.NormalizedTraffic(s, k, md.N, md.NNZ))
 	return s
 }
 
-// SimBelady simulates the kernel under Belady-optimal replacement (no
-// caching: Figure 8 visits each combination once).
+// SimBelady simulates the kernel under Belady-optimal replacement,
+// caching by (technique, kernel) exactly like SimLRU, so concurrent
+// figures share one trace recording and one simulation per combination.
 func (r *Runner) SimBelady(md *MatrixData, tech reorder.Technique, k gpumodel.Kernel) cachesim.Stats {
-	recorded := cachesim.RecordTrace(r.traceFor(md, tech, k))
-	return cachesim.SimulateBelady(r.cfg.Device.L2, recorded)
+	key := tech.Name() + "|" + k.String()
+	md.mu.Lock()
+	s, ok := md.beladys[key]
+	md.mu.Unlock()
+	if ok {
+		return s
+	}
+	r.flight.do(md.Entry.Name+"|belady|"+key, func() {
+		md.mu.Lock()
+		_, done := md.beladys[key]
+		md.mu.Unlock()
+		if done {
+			return
+		}
+		recorded := cachesim.RecordTrace(r.traceFor(md, tech, k))
+		s := cachesim.SimulateBelady(r.cfg.Device.L2, recorded)
+		r.countUnit("belady|" + md.Entry.Name + "|" + key)
+		md.mu.Lock()
+		md.beladys[key] = s
+		md.mu.Unlock()
+		r.progress("belady    %-24s %-16s %-12s traffic=%.2fx", md.Entry.Name, tech.Name(), k.String(),
+			gpumodel.NormalizedTraffic(s, k, md.N, md.NNZ))
+	})
+	md.mu.Lock()
+	s = md.beladys[key]
+	md.mu.Unlock()
+	return s
 }
 
 // traceFor builds the reference stream of the kernel over the reordered

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+)
+
+// The scheduler turns each figure's nested matrix/technique/kernel loops
+// into independent units executed by a bounded worker pool shared across
+// the whole Runner. Units are deduplicated singleflight-style against the
+// Runner's caches, so concurrent figures (or repeated prefetches) never
+// redo a generation, reordering, or simulation; each figure then
+// aggregates in corpus order against warm caches, keeping its table
+// byte-identical to the serial run regardless of completion order.
+
+// UnitKind selects how much of the pipeline a Unit warms.
+type UnitKind int
+
+const (
+	// UnitStats generates the matrix and runs community detection.
+	UnitStats UnitKind = iota
+	// UnitPerm additionally computes the technique's permutation.
+	UnitPerm
+	// UnitSimLRU additionally simulates the kernel through the LRU L2.
+	UnitSimLRU
+	// UnitSimBelady simulates the kernel under Belady-optimal replacement.
+	UnitSimBelady
+)
+
+// Unit is one schedulable piece of work: a point in the
+// (matrix × technique × kernel) space a figure needs.
+type Unit struct {
+	Kind   UnitKind
+	Matrix string
+	Tech   reorder.Technique // nil for UnitStats
+	Kernel gpumodel.Kernel   // zero value for UnitStats/UnitPerm
+}
+
+// StatsUnits covers matrix generation plus community detection for every
+// entry — what the statistics-only figures (Correlations, Figure 4) need.
+func StatsUnits(entries []gen.Entry) []Unit {
+	units := make([]Unit, 0, len(entries))
+	for _, e := range entries {
+		units = append(units, Unit{Kind: UnitStats, Matrix: e.Name})
+	}
+	return units
+}
+
+// PermUnits crosses the entries with the techniques at permutation depth.
+func PermUnits(entries []gen.Entry, techs []reorder.Technique) []Unit {
+	units := make([]Unit, 0, len(entries)*len(techs))
+	for _, e := range entries {
+		for _, t := range techs {
+			units = append(units, Unit{Kind: UnitPerm, Matrix: e.Name, Tech: t})
+		}
+	}
+	return units
+}
+
+// SimUnits crosses the entries with the techniques and kernels at LRU
+// simulation depth — the bulk of every figure's work.
+func SimUnits(entries []gen.Entry, techs []reorder.Technique, kernels ...gpumodel.Kernel) []Unit {
+	units := make([]Unit, 0, len(entries)*len(techs)*len(kernels))
+	for _, e := range entries {
+		for _, t := range techs {
+			for _, k := range kernels {
+				units = append(units, Unit{Kind: UnitSimLRU, Matrix: e.Name, Tech: t, Kernel: k})
+			}
+		}
+	}
+	return units
+}
+
+// BeladyUnits is SimUnits under Belady-optimal replacement (Figure 8).
+func BeladyUnits(entries []gen.Entry, techs []reorder.Technique, kernels ...gpumodel.Kernel) []Unit {
+	units := make([]Unit, 0, len(entries)*len(techs)*len(kernels))
+	for _, e := range entries {
+		for _, t := range techs {
+			for _, k := range kernels {
+				units = append(units, Unit{Kind: UnitSimBelady, Matrix: e.Name, Tech: t, Kernel: k})
+			}
+		}
+	}
+	return units
+}
+
+// Prefetch executes the units on the Runner's worker pool and blocks
+// until all complete, returning the first error. Work already cached or
+// in flight (submitted by a concurrent figure) is not redone. After a
+// successful Prefetch, reading the same units through Matrix/Perm/
+// SimLRU/SimBelady is a pure cache hit, so callers can aggregate serially
+// in corpus order at no cost.
+func (r *Runner) Prefetch(units []Unit) error {
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	for _, u := range units {
+		u := u
+		wg.Add(1)
+		r.sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			if err := r.runUnit(u); err != nil {
+				errOnce.Do(func() { first = err })
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// runUnit drives one unit through the cache-backed accessors; dedup with
+// concurrent identical units happens inside them.
+func (r *Runner) runUnit(u Unit) error {
+	md, err := r.Matrix(u.Matrix)
+	if err != nil {
+		return err
+	}
+	switch u.Kind {
+	case UnitStats:
+		md.Stats()
+	case UnitPerm:
+		r.Perm(md, u.Tech)
+	case UnitSimLRU:
+		r.SimLRU(md, u.Tech, u.Kernel)
+	case UnitSimBelady:
+		r.SimBelady(md, u.Tech, u.Kernel)
+	}
+	return nil
+}
+
+// forNames runs fn over the named matrices on the worker pool and returns
+// the per-matrix results indexed in input order, regardless of completion
+// order. fn may call any Runner accessor but must not call Prefetch,
+// forNames, or forEntries (pool slots do not nest).
+func forNames[T any](r *Runner, names []string, fn func(md *MatrixData) (T, error)) ([]T, error) {
+	out := make([]T, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		r.sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			md, err := r.Matrix(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = fn(md)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// forEntries is forNames over the runner's whole corpus subset, in corpus
+// order.
+func forEntries[T any](r *Runner, fn func(md *MatrixData) (T, error)) ([]T, error) {
+	entries := r.Entries()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return forNames(r, names, fn)
+}
+
+// flightGroup deduplicates in-flight work by key: the first caller of a
+// key runs fn while later callers of the same key block until it
+// completes. Unlike a lock held across the computation, only callers of
+// the same key wait; different keys proceed in parallel.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+}
+
+// do runs fn under the key's flight. It returns true when this caller
+// executed fn (the leader) and false when it waited for another caller's
+// completed execution. fn must publish its result to the relevant cache
+// before returning, so followers (and late arrivals) read it from there.
+func (g *flightGroup) do(key string, fn func()) bool {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	fn()
+	return true
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+)
+
+func TestUnitBuilders(t *testing.T) {
+	r := testRunner(t, "er-deg16", "cfd-2d-5pt")
+	entries := r.Entries()
+	techs := []reorder.Technique{reorder.Original{}, reorder.Rabbit{}}
+	kernels := []gpumodel.Kernel{SpMV, {Kind: gpumodel.SpMVCOO}}
+
+	if got := len(StatsUnits(entries)); got != 2 {
+		t.Fatalf("StatsUnits = %d units, want 2", got)
+	}
+	if got := len(PermUnits(entries, techs)); got != 4 {
+		t.Fatalf("PermUnits = %d units, want 4", got)
+	}
+	if got := len(SimUnits(entries, techs, kernels...)); got != 8 {
+		t.Fatalf("SimUnits = %d units, want 8", got)
+	}
+	if got := len(BeladyUnits(entries, techs, SpMV)); got != 4 {
+		t.Fatalf("BeladyUnits = %d units, want 4", got)
+	}
+}
+
+func TestPrefetchUnknownMatrix(t *testing.T) {
+	r := testRunner(t, "er-deg16")
+	err := r.Prefetch([]Unit{{Kind: UnitStats, Matrix: "no-such-matrix"}})
+	if err == nil {
+		t.Fatal("Prefetch accepted an unknown matrix")
+	}
+}
+
+func TestWorkersDefaultAndOverride(t *testing.T) {
+	cfg := SmallConfig()
+	if w := NewRunner(cfg).Workers(); w < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", w)
+	}
+	cfg.Workers = 3
+	if w := NewRunner(cfg).Workers(); w != 3 {
+		t.Fatalf("Workers() = %d, want 3", w)
+	}
+}
+
+// TestSchedulerExactlyOnce is the scheduler stress test: it runs a set of
+// figures — with heavily overlapping (matrix, technique, kernel) needs —
+// concurrently from multiple goroutines, twice each, against one Runner,
+// and then asserts via the Runner's instrumented execution counter that
+// every generation, permutation, and simulation ran exactly once. Under
+// -race this also exercises the per-key in-flight tracking and the cache
+// mutex discipline end to end.
+func TestSchedulerExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six experiments concurrently; skipped in -short")
+	}
+	cfg := SmallConfig()
+	cfg.Matrices = []string{"er-deg16", "cfd-2d-5pt"}
+	cfg.Workers = 4
+	r := NewRunner(cfg)
+
+	ids := []string{"fig2", "fig3", "fig7", "table2", "table3", "obs", "fig8"}
+	const rounds = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(ids))
+	for round := 0; round < rounds; round++ {
+		for _, id := range ids {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(e Experiment) {
+				defer wg.Done()
+				if _, err := e.Run(r); err != nil {
+					errs <- err
+				}
+			}(e)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	counts := r.UnitCounts()
+	var lru, belady, perms int
+	for key, n := range counts {
+		if n != 1 {
+			t.Errorf("unit %s executed %d times, want exactly 1", key, n)
+		}
+		switch {
+		case strings.HasPrefix(key, "lru|"):
+			lru++
+		case strings.HasPrefix(key, "belady|"):
+			belady++
+		case strings.HasPrefix(key, "perm|"):
+			perms++
+		}
+	}
+	// Sanity-check that the counter saw the real workload: 2 matrices × 6
+	// Figure-2 techniques (+ RABBIT++ and the Table II variants) of LRU
+	// work, and 2 × 7 Belady combinations from Figure 8.
+	if lru < 2*7 {
+		t.Errorf("only %d distinct LRU simulations recorded; dedup test is vacuous", lru)
+	}
+	if belady != 2*7 {
+		t.Errorf("%d distinct Belady simulations recorded, want 14", belady)
+	}
+	if perms == 0 {
+		t.Error("no permutations recorded")
+	}
+}
+
+// TestParallelMatchesSerial recomputes one figure's numbers on two fresh
+// runners — serial and maximally parallel — and requires cell-identical
+// tables, the in-process counterpart of the golden-file checks.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Fig2 twice; skipped in -short")
+	}
+	render := func(workers int) [][]string {
+		cfg := SmallConfig()
+		cfg.Matrices = []string{"er-deg16", "mawi-like"}
+		cfg.Workers = workers
+		tb, err := Fig2(NewRunner(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	serial, parallel := render(1), render(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if strings.Join(serial[i], "|") != strings.Join(parallel[i], "|") {
+			t.Fatalf("row %d differs:\nserial:   %v\nparallel: %v", i, serial[i], parallel[i])
+		}
+	}
+}

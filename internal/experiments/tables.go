@@ -40,21 +40,30 @@ func TableII(r *Runner) (*report.Table, error) {
 	tb := report.New("Table II: design space of RABBIT modifications (SpMV run time / ideal)",
 		"variant", "ALL", "INS<0.95", "INS>=0.95")
 	hubModes := []core.HubMode{core.HubNone, core.HubSort, core.HubGroup}
+	var variants []reorder.Technique
+	var labels []string
 	for _, grouped := range []bool{false, true} {
 		for _, hub := range hubModes {
-			variant := reorder.RabbitVariant{Opts: core.Options{GroupInsular: grouped, Hub: hub}}
-			all, lo, hi, err := classMeans(r, func(md *MatrixData) (float64, error) {
-				return r.NormRuntime(md, variant, SpMV), nil
-			})
-			if err != nil {
-				return nil, err
-			}
+			variants = append(variants, reorder.RabbitVariant{Opts: core.Options{GroupInsular: grouped, Hub: hub}})
 			label := hub.String()
 			if grouped {
 				label += " +insular-grouped"
 			}
-			tb.Add(label, report.X(all), report.X(lo), report.X(hi))
+			labels = append(labels, label)
 		}
+	}
+	if err := r.Prefetch(SimUnits(r.Entries(), variants, SpMV)); err != nil {
+		return nil, err
+	}
+	for i, variant := range variants {
+		variant := variant
+		all, lo, hi, err := classMeans(r, func(md *MatrixData) (float64, error) {
+			return r.NormRuntime(md, variant, SpMV), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.Add(labels[i], report.X(all), report.X(lo), report.X(hi))
 	}
 	tb.Note("paper row RABBIT: 1.54/1.81/1.25 without grouping, 1.49/1.70/1.25 with")
 	tb.Note("paper: HUBSORT hurts RABBIT; insular grouping + HUBGROUP (= RABBIT++) wins")
@@ -65,6 +74,9 @@ func TableII(r *Runner) (*report.Table, error) {
 // lines filled but never reused, per reordering technique.
 func TableIII(r *Runner) (*report.Table, error) {
 	techs := append(reorder.Figure2(), reorder.RabbitPP{})
+	if err := r.Prefetch(SimUnits(r.Entries(), techs, SpMV)); err != nil {
+		return nil, err
+	}
 	tb := report.New("Table III: average % of dead lines inserted into the cache (SpMV)",
 		"technique", "dead-lines", "paper")
 	paper := map[string]string{
@@ -101,6 +113,9 @@ func TableIV(r *Runner) (*report.Table, error) {
 	cols := []string{"technique"}
 	for _, k := range kernels {
 		cols = append(cols, k.String()+" ALL", k.String()+" I<0.95", k.String()+" I>=0.95")
+	}
+	if err := r.Prefetch(SimUnits(r.Entries(), techs, kernels...)); err != nil {
+		return nil, err
 	}
 	tb := report.New("Table IV: run time normalized to ideal across cuSPARSE-equivalent kernels", cols...)
 	for _, t := range techs {

@@ -108,6 +108,26 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	return err
 }
 
+// RenderTSV writes the table as tab-separated values with the title and
+// notes as '#'-prefixed lines. This is the golden-file format: stable
+// under column-width changes, trivially diffable, and it captures the
+// notes (which carry the computed summary statistics) alongside the grid.
+func (t *Table) RenderTSV(w io.Writer) error {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("# " + t.Title + "\n")
+	}
+	b.WriteString(strings.Join(t.Columns, "\t") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t") + "\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# note: " + n + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 // X formats a ratio the way the paper prints them: "1.54x".
 func X(v float64) string { return fmt.Sprintf("%.2fx", v) }
 

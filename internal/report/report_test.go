@@ -52,6 +52,20 @@ func TestRenderCSVEscapes(t *testing.T) {
 	}
 }
 
+func TestRenderTSV(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Add("row-one", "1.00x")
+	tb.Note("footnote %d", 7)
+	var buf bytes.Buffer
+	if err := tb.RenderTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# Demo\nname\tvalue\nrow-one\t1.00x\n# note: footnote 7\n"
+	if buf.String() != want {
+		t.Fatalf("TSV = %q, want %q", buf.String(), want)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if X(1.536) != "1.54x" {
 		t.Fatalf("X = %q", X(1.536))

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Perf trajectory harness: time the full experiment suite serial vs
+# parallel (4 workers) and record the speedup as BENCH_experiments.json.
+# Run from the repository root: ./scripts/bench.sh [count]
+#
+# count (default 1) is the -benchtime=<count>x iteration count; raise it
+# on noisy machines.
+set -eu
+
+count="${1:-1}"
+
+echo "==> go test -bench 'BenchmarkSuite(Serial|Parallel)' -benchtime=${count}x ."
+out=$(go test -run='^$' -bench='^BenchmarkSuite(Serial|Parallel)$' \
+	-benchtime="${count}x" -timeout 60m .)
+echo "$out"
+
+serial=$(echo "$out" | awk '$1 ~ /^BenchmarkSuiteSerial/ {print $3}')
+parallel=$(echo "$out" | awk '$1 ~ /^BenchmarkSuiteParallel/ {print $3}')
+if [ -z "$serial" ] || [ -z "$parallel" ]; then
+	echo "bench.sh: could not parse benchmark output" >&2
+	exit 1
+fi
+speedup=$(awk "BEGIN{printf \"%.2f\", $serial/$parallel}")
+cpus=$(nproc 2>/dev/null || echo 1)
+
+# The speedup is wall-clock, so it is bounded by the host's core count:
+# a single-core box cannot show parallel gain (only the interleaving
+# overhead), which the recorded host_logical_cpus makes explicit.
+cat > BENCH_experiments.json <<EOF
+{
+  "benchmark": "experiments suite (Small corpus subset: ${count}x, all registered figures and tables)",
+  "serial_ns_per_op": $serial,
+  "parallel_workers": 4,
+  "parallel_ns_per_op": $parallel,
+  "speedup": $speedup,
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_experiments.json (speedup ${speedup}x at 4 workers on ${cpus} CPUs)"

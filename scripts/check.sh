@@ -19,6 +19,12 @@ go test -race ./...
 echo "==> go test -tags check ./internal/..."
 go test -tags check ./internal/...
 
+echo "==> golden-file regression (serial and parallel must match the goldens)"
+go test -run 'TestGolden' -count=1 ./internal/experiments
+
+echo "==> parallel suite smoke: cmd/experiments -workers=4"
+go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
+
 echo "==> fuzz smoke: FuzzValidCSR / FuzzValidPermutation (internal/check)"
 go test -run=NONE -fuzz=FuzzValidCSR -fuzztime=5s ./internal/check
 go test -run=NONE -fuzz=FuzzValidPermutation -fuzztime=5s ./internal/check
