@@ -1,0 +1,250 @@
+// Command reorderd serves matrix reordering over HTTP: clients POST a
+// MatrixMarket body (or reference a generated corpus matrix) to /reorder
+// and get back the permutation plus community-quality metrics. Results are
+// cached by (matrix digest × technique) so repeated requests amortize the
+// reordering cost, the regime in which the paper's Figure 9 shows
+// community reordering pays for itself.
+//
+// Usage:
+//
+//	reorderd [-addr :8377] [-workers N] [-queue N] [-cache N]
+//	         [-max-body-bytes N] [-max-rows N] [-max-timeout D] [-preset small]
+//
+// The -smoke flag runs an in-process self-test (start, reorder a small
+// matrix over real HTTP, validate the permutation, drain) and exits; the
+// check script uses it as the service smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reorderd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8377", "listen address")
+		workers    = flag.Int("workers", 0, "reordering worker count (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "job queue depth before 429 load shedding")
+		cacheN     = flag.Int("cache", 256, "result cache entries (matrix digest x technique)")
+		maxBody    = flag.Int64("max-body-bytes", 64<<20, "maximum upload size before 413")
+		maxRows    = flag.Int("max-rows", 1<<22, "maximum declared rows/cols in an upload")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on per-request compute deadlines")
+		preset     = flag.String("preset", gen.Small.String(), "corpus preset for ?matrix= references (small|full)")
+		smoke      = flag.Bool("smoke", false, "run an in-process self-test and exit")
+	)
+	flag.Parse()
+
+	p, err := presetByName(*preset)
+	if err != nil {
+		return err
+	}
+	if !check.FitsInt32(*maxRows) {
+		return fmt.Errorf("-max-rows %d overflows int32", *maxRows)
+	}
+	cfg := serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheN,
+		MaxBodyBytes: *maxBody,
+		MaxRows:      check.SafeInt32(*maxRows),
+		MaxJobTime:   *maxTimeout,
+		Preset:       p,
+	}
+	if *smoke {
+		return runSmoke(cfg)
+	}
+	return runServer(*addr, cfg)
+}
+
+func presetByName(name string) (gen.Preset, error) {
+	switch name {
+	case gen.Small.String():
+		return gen.Small, nil
+	case gen.Full.String():
+		return gen.Full, nil
+	}
+	return gen.Small, fmt.Errorf("unknown preset %q (want %q or %q)", name, gen.Small, gen.Full)
+}
+
+// runServer serves until SIGINT/SIGTERM, then drains: stop accepting,
+// finish in-flight requests and queued jobs, and exit cleanly.
+func runServer(addr string, cfg serve.Config) error {
+	s := serve.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "reorderd: listening on %s\n", addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "reorderd: %v, draining\n", sig)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutErr := httpSrv.Shutdown(shutCtx)
+	s.Close()
+	if shutErr != nil {
+		return fmt.Errorf("shutdown: %w", shutErr)
+	}
+	return nil
+}
+
+// runSmoke exercises the full service surface in-process: real listener,
+// real HTTP round trips, permutation validity, cache-hit accounting, and a
+// clean drain. Exit status is the test verdict.
+func runSmoke(cfg serve.Config) error {
+	s := serve.New(cfg)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// A small two-community matrix: dense 0..3 block plus dense 4..7 block
+	// with one bridging edge, symmetric, in MatrixMarket form.
+	m := twoCommunityMatrix()
+	var mm bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&mm, m); err != nil {
+		return err
+	}
+
+	body := mm.Bytes()
+	var first serveReply
+	if err := postReorder(base, body, &first); err != nil {
+		return fmt.Errorf("cold request: %w", err)
+	}
+	if first.Cached {
+		return fmt.Errorf("cold request unexpectedly served from cache")
+	}
+	if err := validatePerm(first.Permutation, m.NumRows); err != nil {
+		return err
+	}
+	if first.Quality == nil {
+		return fmt.Errorf("response missing quality metrics")
+	}
+
+	var second serveReply
+	if err := postReorder(base, body, &second); err != nil {
+		return fmt.Errorf("warm request: %w", err)
+	}
+	if !second.Cached {
+		return fmt.Errorf("warm request missed the cache")
+	}
+	if fmt.Sprint(first.Permutation) != fmt.Sprint(second.Permutation) {
+		return fmt.Errorf("cache hit returned a different permutation")
+	}
+	if hits, _ := s.Metrics(); hits < 1 {
+		return fmt.Errorf("cache hit counter not incremented (hits=%d)", hits)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	s.Close()
+	fmt.Println("reorderd smoke: ok")
+	return nil
+}
+
+type serveReply struct {
+	Cached      bool    `json:"cached"`
+	Permutation []int32 `json:"permutation"`
+	Quality     *struct {
+		Insularity float64 `json:"insularity"`
+		Modularity float64 `json:"modularity"`
+	} `json:"quality"`
+}
+
+func postReorder(base string, body []byte, out *serveReply) error {
+	resp, err := http.Post(base+"/reorder?technique=RABBIT", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	return json.Unmarshal(payload, out)
+}
+
+func validatePerm(p []int32, n int32) error {
+	if len(p) != int(n) {
+		return fmt.Errorf("permutation length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return fmt.Errorf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// twoCommunityMatrix builds the smoke fixture: two 4-cliques joined by a
+// single edge, a shape every community technique handles.
+func twoCommunityMatrix() *sparse.CSR {
+	coo := sparse.NewCOO(8, 8, 64)
+	for _, block := range [][2]int32{{0, 4}, {4, 8}} {
+		for i := block[0]; i < block[1]; i++ {
+			for j := i + 1; j < block[1]; j++ {
+				coo.AddSym(i, j, 1)
+			}
+		}
+	}
+	coo.AddSym(3, 4, 1)
+	return coo.ToCSR()
+}

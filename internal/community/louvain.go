@@ -1,11 +1,16 @@
 package community
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/check"
 	"repro/internal/sparse"
 )
+
+// louvainCancelStride is how many local-move node visits run between
+// cooperative cancellation checks inside one sweep.
+const louvainCancelStride = 4096
 
 // LouvainOptions tunes the multi-level Louvain detector.
 type LouvainOptions struct {
@@ -40,7 +45,20 @@ func (o LouvainOptions) withDefaults() LouvainOptions {
 // RABBIT's incremental aggregation, and a reference point for community
 // quality in tests.
 func Louvain(m *sparse.CSR, opts LouvainOptions) Assignment {
+	// A background context never cancels, so the error path is unreachable.
+	a, _ := LouvainCtx(context.Background(), m, opts)
+	return a
+}
+
+// LouvainCtx is Louvain with cooperative cancellation: the local-moving
+// sweeps check ctx every louvainCancelStride node visits and between
+// levels, returning ctx.Err() when the context is done. A nil error
+// guarantees an assignment identical to Louvain's.
+func LouvainCtx(ctx context.Context, m *sparse.CSR, opts LouvainOptions) (Assignment, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return Assignment{}, err
+	}
 	// current graph, as adjacency with weights
 	g := fromCSR(m)
 	// nodeComm[level] maps each node of level-graph to its community.
@@ -49,7 +67,10 @@ func Louvain(m *sparse.CSR, opts LouvainOptions) Assignment {
 		assignment[i] = int32(i)
 	}
 	for level := 0; level < opts.MaxLevels; level++ {
-		comm, improved := localMove(g, opts)
+		comm, improved, err := localMove(ctx, g, opts)
+		if err != nil {
+			return Assignment{}, err
+		}
 		if !improved {
 			break
 		}
@@ -61,9 +82,12 @@ func Louvain(m *sparse.CSR, opts LouvainOptions) Assignment {
 		if dense.Count == int32(g.n) {
 			break // no aggregation happened
 		}
+		if err := ctx.Err(); err != nil {
+			return Assignment{}, err
+		}
 		g = g.aggregate(dense)
 	}
-	return FromLabels(assignment)
+	return FromLabels(assignment), nil
 }
 
 // weightedGraph is the internal adjacency representation used across
@@ -131,8 +155,9 @@ func (g *weightedGraph) degree(u int32) float64 {
 }
 
 // localMove runs the Louvain local-moving phase and returns the community
-// of each node plus whether any move happened.
-func localMove(g *weightedGraph, opts LouvainOptions) ([]int32, bool) {
+// of each node plus whether any move happened. It checks ctx periodically
+// and abandons the sweep with ctx.Err() on cancellation.
+func localMove(ctx context.Context, g *weightedGraph, opts LouvainOptions) ([]int32, bool, error) {
 	comm := make([]int32, g.n)
 	commTot := make([]float64, g.n) // total degree per community
 	deg := make([]float64, g.n)
@@ -142,7 +167,7 @@ func localMove(g *weightedGraph, opts LouvainOptions) ([]int32, bool) {
 		commTot[i] = deg[i]
 	}
 	if g.total == 0 {
-		return comm, false
+		return comm, false, nil
 	}
 	m2 := g.total
 	anyMove := false
@@ -153,6 +178,11 @@ func localMove(g *weightedGraph, opts LouvainOptions) ([]int32, bool) {
 		gain := 0.0
 		moves := 0
 		for u := int32(0); u < g.n; u++ {
+			if u%louvainCancelStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, false, err
+				}
+			}
 			cu := comm[u]
 			touched = touched[:0]
 			for k := g.offsets[u]; k < g.offsets[u+1]; k++ {
@@ -192,7 +222,7 @@ func localMove(g *weightedGraph, opts LouvainOptions) ([]int32, bool) {
 			break
 		}
 	}
-	return comm, anyMove
+	return comm, anyMove, nil
 }
 
 // aggregate contracts each community to a single node.

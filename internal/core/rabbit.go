@@ -5,12 +5,19 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/check"
 	"repro/internal/community"
 	"repro/internal/sparse"
 )
+
+// cancelStride is how many merge-loop iterations run between cooperative
+// cancellation checks. Each iteration touches one vertex's aggregated
+// adjacency, so the stride bounds post-cancellation latency to a few
+// hundred adjacency scans.
+const cancelStride = 256
 
 // gainEps is the tolerance for modularity-gain ties. Gains are sums of
 // O(n) float64 terms, so exact equality between two candidates is
@@ -57,14 +64,33 @@ func Rabbit(m *sparse.CSR) *RabbitResult {
 	return RabbitResolution(m, 1.0)
 }
 
+// RabbitCtx is Rabbit with cooperative cancellation: the merge loop checks
+// ctx every cancelStride vertices and returns ctx.Err() if the context is
+// done. A nil error guarantees a result identical to Rabbit's.
+func RabbitCtx(ctx context.Context, m *sparse.CSR) (*RabbitResult, error) {
+	return RabbitResolutionCtx(ctx, m, 1.0)
+}
+
 // RabbitResolution runs RABBIT with a resolution multiplier γ on the null
 // model term: merges require w_uv/(2m) > γ·(d_u d_v)/(2m)². γ = 1 is
 // standard modularity; γ > 1 favors more, smaller communities and γ < 1
 // fewer, larger ones (the resolution-limit knob, probed by the
 // abl-resolution experiment).
 func RabbitResolution(m *sparse.CSR, gamma float64) *RabbitResult {
+	// A background context never cancels, so the error path is unreachable.
+	rr, _ := RabbitResolutionCtx(context.Background(), m, gamma)
+	return rr
+}
+
+// RabbitResolutionCtx is RabbitResolution with cooperative cancellation.
+// The visit loop checks ctx every cancelStride vertices; on cancellation it
+// abandons the partial dendrogram and returns (nil, ctx.Err()).
+func RabbitResolutionCtx(ctx context.Context, m *sparse.CSR, gamma float64) (*RabbitResult, error) {
 	if !m.IsSquare() {
 		panic("core: Rabbit requires a square matrix")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sym := m.Symmetrize()
 	n := sym.NumRows
@@ -122,9 +148,14 @@ func RabbitResolution(m *sparse.CSR, gamma float64) *RabbitResult {
 	var epoch int64
 	touched := make([]int32, 0, 64)
 
-	for _, v := range order {
+	for i, v := range order {
 		if m2 == 0 {
 			break
+		}
+		if i%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		// v is always a root here: merge sources are processed once and
 		// merge targets remain roots.
@@ -202,5 +233,5 @@ func RabbitResolution(m *sparse.CSR, gamma float64) *RabbitResult {
 		Communities: community.FromLabels(uf.Labels()),
 		Parent:      parent,
 		Children:    children,
-	}
+	}, nil
 }

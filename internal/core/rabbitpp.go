@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/check"
@@ -70,6 +71,21 @@ type Result struct {
 func Reorder(m *sparse.CSR, opts Options) *Result {
 	rr := Rabbit(m)
 	return ModifyRabbit(m, rr, opts)
+}
+
+// ReorderCtx is Reorder with cooperative cancellation: the underlying
+// RABBIT detection checks ctx throughout its merge loop, and the Figure 5
+// modifications (which are cheap relative to detection) check once before
+// running. A nil error guarantees a result identical to Reorder's.
+func ReorderCtx(ctx context.Context, m *sparse.CSR, opts Options) (*Result, error) {
+	rr, err := RabbitCtx(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return ModifyRabbit(m, rr, opts), nil
 }
 
 // RabbitPlusPlus runs the full RABBIT++ pipeline: RABBIT, then insular-node

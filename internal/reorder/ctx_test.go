@@ -1,0 +1,79 @@
+package reorder
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestOrderCtxCancelledBeforeStart: a context that is already cancelled
+// must surface context.Canceled from every technique (native OrdererCtx or
+// adapted) with no permutation — callers must never observe a result after
+// cancellation.
+func TestOrderCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := metamorphicMatrix()
+	for _, tech := range propertyTechniques() {
+		tech := tech
+		t.Run(tech.Name(), func(t *testing.T) {
+			p, err := WithContext(tech).OrderCtx(ctx, m)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if p != nil {
+				t.Fatalf("got permutation %v after cancellation", p)
+			}
+		})
+	}
+}
+
+// TestOrderCtxMatchesOrder: with a live context, OrderCtx must be
+// byte-identical to Order — cancellation support must not perturb results,
+// or the golden determinism tests and the serving cache's digest keying
+// both break.
+func TestOrderCtxMatchesOrder(t *testing.T) {
+	matrices := map[string]*sparse.CSR{"community": metamorphicMatrix()}
+	for name, m := range pathologicalMatrices() {
+		matrices[name] = m
+	}
+	for matName, m := range matrices {
+		for _, tech := range propertyTechniques() {
+			tech, m := tech, m
+			t.Run(matName+"/"+tech.Name(), func(t *testing.T) {
+				want := tech.Order(m)
+				got, err := WithContext(tech).OrderCtx(context.Background(), m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("OrderCtx diverges from Order at %d: %d vs %d", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestByNameCtx: every registered name resolves to a cancellable orderer
+// whose Name round-trips.
+func TestByNameCtx(t *testing.T) {
+	for _, tech := range All() {
+		o, err := ByNameCtx(tech.Name())
+		if err != nil {
+			t.Fatalf("%s: %v", tech.Name(), err)
+		}
+		if o.Name() != tech.Name() {
+			t.Fatalf("name mismatch: %q vs %q", o.Name(), tech.Name())
+		}
+	}
+	if _, err := ByNameCtx("NO-SUCH-TECHNIQUE"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+}

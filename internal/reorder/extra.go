@@ -50,28 +50,7 @@ func (LouvainOrder) Name() string { return "LOUVAIN" }
 // Order implements Technique.
 func (LouvainOrder) Order(m *sparse.CSR) sparse.Permutation {
 	a := community.Louvain(m.Symmetrize(), community.LouvainOptions{})
-	sizes := a.Sizes()
-	// Rank communities by descending size, ties by label, so big
-	// communities stream first.
-	rank := make([]int32, a.Count)
-	for i := range rank {
-		rank[i] = int32(i)
-	}
-	sort.SliceStable(rank, func(x, y int) bool { return sizes[rank[x]] > sizes[rank[y]] })
-	pos := make([]int32, a.Count)
-	var cursor int32
-	for _, c := range rank {
-		pos[c] = cursor
-		cursor += sizes[c]
-	}
-	perm := make(sparse.Permutation, m.NumRows)
-	fill := make([]int32, a.Count)
-	for v := int32(0); v < m.NumRows; v++ {
-		c := a.Of[v]
-		perm[v] = pos[c] + fill[c]
-		fill[c]++
-	}
-	return check.Perm(perm)
+	return check.Perm(louvainPerm(m, a))
 }
 
 // FrequencyClustering implements frequency-based clustering (Zhang et al.,

@@ -1,6 +1,8 @@
 package reorder
 
 import (
+	"context"
+
 	"repro/internal/check"
 	"repro/internal/sparse"
 )
@@ -129,6 +131,16 @@ func (q *unitQueue) popMax() int32 {
 
 // Order implements Technique.
 func (g Gorder) Order(m *sparse.CSR) sparse.Permutation {
+	// A background context never cancels, so the error path is unreachable.
+	p, _ := g.OrderCtx(context.Background(), m)
+	return check.Perm(p)
+}
+
+// OrderCtx implements OrdererCtx: the greedy window scan checks ctx every
+// 256 placed vertices, bounding cancellation latency to a few hundred
+// score adjustments. GORDER is the technique Figure 9 singles out for
+// preprocessing cost, so it is the one that most needs a real deadline.
+func (g Gorder) OrderCtx(ctx context.Context, m *sparse.CSR) (sparse.Permutation, error) {
 	window := g.Window
 	if window <= 0 {
 		window = 5
@@ -137,9 +149,12 @@ func (g Gorder) Order(m *sparse.CSR) sparse.Permutation {
 	if maxFanout <= 0 {
 		maxFanout = 4096
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := m.NumRows
 	if n == 0 {
-		return sparse.Permutation{}
+		return sparse.Permutation{}, nil
 	}
 	tr := m.Transpose() // rows of tr = in-neighbors
 
@@ -193,11 +208,16 @@ func (g Gorder) Order(m *sparse.CSR) sparse.Permutation {
 	}
 	place(start)
 	for len(order) < int(n) {
+		if len(order)%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		next := q.popMax()
 		if next < 0 {
 			break
 		}
 		place(next)
 	}
-	return check.Perm(sparse.FromNewOrder(order))
+	return check.Perm(sparse.FromNewOrder(order)), nil
 }

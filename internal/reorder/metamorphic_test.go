@@ -1,0 +1,142 @@
+package reorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/kernels"
+	"repro/internal/quality"
+	"repro/internal/sparse"
+)
+
+// The metamorphic relation under test: relabeling the input graph by a
+// random permutation r must not change what a reordering technique
+// computes, up to that same relabeling. Concretely, with
+//
+//	m2 = r(m),  p  = t.Order(m),  p2 = t.Order(m2),  c = r.Compose(p2)
+//
+// the reordered-relabelled matrix m2.PermuteSymmetric(p2) is exactly
+// m.PermuteSymmetric(c), so SpMV through it must reproduce the original
+// SpMV output modulo c, and label-invariant quality metrics (insularity,
+// modularity, average edge distance) must agree to float tolerance.
+//
+// All matrix and vector values are small integers so every float32/float64
+// accumulation is exact regardless of summation order; the SpMV comparison
+// can therefore demand bitwise equality.
+
+// metamorphicMatrix builds a 60-node, 4-community graph (dense blocks of
+// 15 plus a sparse ring of bridges) with small-integer values.
+func metamorphicMatrix() *sparse.CSR {
+	const n, comm = 60, 15
+	coo := sparse.NewCOO(n, n, 2048)
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameComm := i/comm == j/comm
+			bridge := j == i+comm && i%comm == 0
+			if sameComm && (i+j)%3 != 0 || bridge {
+				coo.AddSym(i, j, float32((i+j)%7+1))
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// groundTruthLabels is the planted community structure of
+// metamorphicMatrix.
+func groundTruthLabels(n int32) []int32 {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i) / 15
+	}
+	return labels
+}
+
+func spmv(t *testing.T, m *sparse.CSR, x []float32) []float32 {
+	t.Helper()
+	y := make([]float32, m.NumRows)
+	if err := kernels.SpMVCSR(m, x, y); err != nil {
+		t.Fatal(err)
+	}
+	return y
+}
+
+func TestMetamorphicRelabelingInvariance(t *testing.T) {
+	m := metamorphicMatrix()
+	n := m.NumRows
+
+	rng := rand.New(rand.NewSource(0x5EED))
+	r := make(sparse.Permutation, n)
+	for i, v := range rng.Perm(int(n)) {
+		r[i] = int32(v)
+	}
+	m2 := m.PermuteSymmetric(r)
+
+	// Integer-valued input vector, relabel-covariant.
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = float32(i%9 + 1)
+	}
+	y := spmv(t, m, x)
+
+	labels := groundTruthLabels(n)
+	a := community.FromLabels(labels)
+	labels2 := make([]int32, n)
+	for i, lab := range labels {
+		labels2[r[i]] = lab
+	}
+	a2 := community.FromLabels(labels2)
+
+	insul, insul2 := community.Insularity(m, a), community.Insularity(m2, a2)
+	if math.Abs(insul-insul2) > 1e-12 {
+		t.Fatalf("insularity not relabel-invariant: %v vs %v", insul, insul2)
+	}
+	mod, mod2 := community.Modularity(m, a), community.Modularity(m2, a2)
+	if math.Abs(mod-mod2) > 1e-12 {
+		t.Fatalf("modularity not relabel-invariant: %v vs %v", mod, mod2)
+	}
+
+	for _, tech := range propertyTechniques() {
+		tech := tech
+		t.Run(tech.Name(), func(t *testing.T) {
+			p := tech.Order(m)
+			p2 := tech.Order(m2)
+			c := r.Compose(p2)
+
+			// Reordering alone must leave SpMV output invariant: y'[p[i]]
+			// equals y[i].
+			a1 := m.PermuteSymmetric(p)
+			y1 := spmv(t, a1, p.PermuteVector(x))
+			for i := int32(0); i < n; i++ {
+				if y1[p[i]] != y[i] {
+					t.Fatalf("reorder changed SpMV output at row %d: %v vs %v", i, y1[p[i]], y[i])
+				}
+			}
+
+			// Relabel-then-reorder must agree with the conjugated
+			// permutation applied to the original matrix, and SpMV through
+			// it must reproduce y modulo c, bit for bit.
+			a2m := m2.PermuteSymmetric(p2)
+			if conj := m.PermuteSymmetric(c); !a2m.Equal(conj) {
+				t.Fatal("relabel+reorder disagrees with conjugated permutation of the original")
+			}
+			y2 := spmv(t, a2m, c.PermuteVector(x))
+			want := c.PermuteVector(y)
+			for i := range y2 {
+				if y2[i] != want[i] {
+					t.Fatalf("relabelled SpMV output differs at row %d: %v vs %v", i, y2[i], want[i])
+				}
+			}
+
+			// The locality quality of the technique's output, measured on
+			// each labeling, must match: the metric sees the same reordered
+			// matrix either way.
+			d := quality.AverageEdgeDistance(m, c)
+			d2 := quality.AverageEdgeDistance(m2, p2)
+			if math.Abs(d-d2) > 1e-12 {
+				t.Fatalf("average edge distance not relabel-invariant: %v vs %v", d, d2)
+			}
+		})
+	}
+}

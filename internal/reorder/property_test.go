@@ -1,0 +1,126 @@
+package reorder
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sparse"
+)
+
+// pathologicalMatrices is the property-test corpus: degenerate shapes that
+// stress every structural assumption a reordering technique can make.
+// Unlike adversarialMatrices (which targets realistic skew), these are the
+// boundary inputs — empty, single-vertex, and assembly edge cases.
+func pathologicalMatrices() map[string]*sparse.CSR {
+	out := map[string]*sparse.CSR{}
+
+	out["empty-0x0"] = sparse.NewCOO(0, 0, 0).ToCSR()
+
+	single := sparse.NewCOO(1, 1, 1)
+	single.Add(0, 0, 1)
+	out["single-row"] = single.ToCSR()
+
+	out["single-row-empty"] = sparse.NewCOO(1, 1, 0).ToCSR()
+
+	dense := sparse.NewCOO(24, 24, 48)
+	for c := int32(1); c < 24; c++ {
+		dense.AddSym(0, c, 1)
+	}
+	out["single-dense-row"] = dense.ToCSR()
+
+	diag := sparse.NewCOO(17, 17, 17)
+	for i := int32(0); i < 17; i++ {
+		diag.Add(i, i, 1)
+	}
+	out["diagonal-only"] = diag.ToCSR()
+
+	// Three separate cliques plus isolated vertices in between: both the
+	// component finder and the community detector see disjoint structure.
+	disc := sparse.NewCOO(40, 40, 64)
+	for _, base := range []int32{0, 15, 31} {
+		for i := base; i < base+5; i++ {
+			for j := i + 1; j < base+5; j++ {
+				disc.AddSym(i, j, 1)
+			}
+		}
+	}
+	out["disconnected-components"] = disc.ToCSR()
+
+	// The same few coordinates added many times: ToCSR must merge them by
+	// summation and every technique must see the merged pattern, not the
+	// duplicate count.
+	dup := sparse.NewCOO(8, 8, 96)
+	for rep := 0; rep < 12; rep++ {
+		dup.AddSym(0, 1, 0.5)
+		dup.AddSym(2, 3, 0.25)
+		dup.Add(4, 4, 1)
+		dup.AddSym(5, 6, 0.125)
+	}
+	out["duplicate-heavy"] = dup.ToCSR()
+
+	return out
+}
+
+// propertyTechniques is every registered technique plus the combinators,
+// which have their own traversal logic worth stressing.
+func propertyTechniques() []Technique {
+	ts := All()
+	ts = append(ts,
+		Chain{Rabbit{}, DegSort{}},
+		PerComponent{Inner: RCM{}},
+		PerComponent{Inner: Rabbit{}},
+	)
+	return ts
+}
+
+// TestPropertyValidPermutation is the core property sweep: every technique
+// maps every pathological matrix to a valid permutation, and applying that
+// permutation preserves the matrix (entry count, validity, symmetry of the
+// operation).
+func TestPropertyValidPermutation(t *testing.T) {
+	for matName, m := range pathologicalMatrices() {
+		for _, tech := range propertyTechniques() {
+			tech, m := tech, m
+			t.Run(matName+"/"+tech.Name(), func(t *testing.T) {
+				p := tech.Order(m)
+				if err := check.ValidPermutation(p); err != nil {
+					t.Fatalf("invalid permutation: %v", err)
+				}
+				if len(p) != int(m.NumRows) {
+					t.Fatalf("permutation length %d for %d rows", len(p), m.NumRows)
+				}
+				pm := m.PermuteSymmetric(p)
+				if err := pm.Validate(); err != nil {
+					t.Fatalf("permuted matrix invalid: %v", err)
+				}
+				if pm.NNZ() != m.NNZ() {
+					t.Fatalf("nonzeros changed: %d -> %d", m.NNZ(), pm.NNZ())
+				}
+			})
+		}
+	}
+}
+
+// TestPropertyDeterministic pins down that every technique is a pure
+// function of the matrix: two runs on clones yield identical permutations.
+// The serving cache depends on this (digest equality must imply
+// permutation equality).
+func TestPropertyDeterministic(t *testing.T) {
+	for matName, m := range pathologicalMatrices() {
+		for _, tech := range propertyTechniques() {
+			tech, m := tech, m
+			t.Run(matName+"/"+tech.Name(), func(t *testing.T) {
+				p1 := tech.Order(m.Clone())
+				p2 := tech.Order(m.Clone())
+				if len(p1) != len(p2) {
+					t.Fatalf("lengths differ: %d vs %d", len(p1), len(p2))
+				}
+				for i := range p1 {
+					if p1[i] != p2[i] {
+						t.Fatalf("permutations differ at %d: %d vs %d", i, p1[i], p2[i])
+					}
+				}
+			})
+		}
+	}
+}

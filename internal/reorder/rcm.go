@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/check"
@@ -19,7 +20,19 @@ type RCM struct{}
 func (RCM) Name() string { return "RCM" }
 
 // Order implements Technique.
-func (RCM) Order(m *sparse.CSR) sparse.Permutation {
+func (r RCM) Order(m *sparse.CSR) sparse.Permutation {
+	// A background context never cancels, so the error path is unreachable.
+	p, _ := r.OrderCtx(context.Background(), m)
+	return check.Perm(p)
+}
+
+// OrderCtx implements OrdererCtx: the BFS checks ctx every 1024 dequeued
+// vertices, so a deadline interrupts even a single giant component's
+// traversal.
+func (RCM) OrderCtx(ctx context.Context, m *sparse.CSR) (sparse.Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sym := m.Symmetrize()
 	n := sym.NumRows
 	deg := sym.Degrees()
@@ -44,6 +57,11 @@ func (RCM) Order(m *sparse.CSR) sparse.Permutation {
 		queue = append(queue[:0], start)
 		order = append(order, start)
 		for head := 0; head < len(queue); head++ {
+			if head%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			u := queue[head]
 			cols, _ := sym.Row(u)
 			scratch = scratch[:0]
@@ -62,5 +80,5 @@ func (RCM) Order(m *sparse.CSR) sparse.Permutation {
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
-	return check.Perm(sparse.FromNewOrder(order))
+	return check.Perm(sparse.FromNewOrder(order)), nil
 }

@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/check"
@@ -25,10 +26,23 @@ func (SlashBurn) Name() string { return "SLASHBURN" }
 
 // Order implements Technique.
 func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
+	// A background context never cancels, so the error path is unreachable.
+	p, _ := s.OrderCtx(context.Background(), m)
+	return check.Perm(p)
+}
+
+// OrderCtx implements OrdererCtx with a checkpoint per hub-removal round;
+// each round is one degree recomputation plus one component sweep over the
+// surviving subgraph, so cancellation latency is bounded by a single
+// O(alive + edges) pass.
+func (s SlashBurn) OrderCtx(ctx context.Context, m *sparse.CSR) (sparse.Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sym := m.Symmetrize()
 	n := sym.NumRows
 	if n == 0 {
-		return sparse.Permutation{}
+		return sparse.Permutation{}, nil
 	}
 	k := s.K
 	if k <= 0 {
@@ -51,6 +65,9 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 	queue := make([]int32, 0, n)
 
 	for len(alive) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Degrees within the alive subgraph.
 		for _, v := range alive {
 			d := int32(0)
@@ -143,5 +160,5 @@ func (s SlashBurn) Order(m *sparse.CSR) sparse.Permutation {
 			break
 		}
 	}
-	return check.Perm(perm)
+	return check.Perm(perm), nil
 }

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzReorderHandler feeds arbitrary bytes through the full HTTP handler as
+// MatrixMarket uploads. The invariant is purely defensive: the handler
+// never panics and always produces a well-formed HTTP status, no matter how
+// mangled the upload. Limits are tiny so declared-size shedding (not
+// timeouts) bounds the work per input.
+func FuzzReorderHandler(f *testing.F) {
+	seeds := [][]byte{
+		// Valid minimal matrix.
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 1.0\n"),
+		// Truncated: header only, size line only, missing entries.
+		[]byte("%%MatrixMarket"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n"),
+		// Malformed size and entry lines.
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 x\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n"),
+		[]byte("%%MatrixMarket matrix coordinate real general\n-1 -1 -1\n"),
+		// Declared size far past the limits.
+		[]byte("%%MatrixMarket matrix coordinate real general\n2000000000 2000000000 0\n"),
+		// Wrong banner, empty input, binary noise.
+		[]byte("%%MatrixMarket matrix array real general\n2 2\n1.0\n"),
+		[]byte(""),
+		{0x00, 0xff, 0x7f, 0x0a, 0x25, 0x25},
+		// Symmetric and pattern variants, including a diagonal entry.
+		[]byte("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 3\n"),
+		[]byte("%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 5\n"),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	s := New(Config{
+		Workers:      2,
+		QueueDepth:   8,
+		MaxBodyBytes: 1 << 16,
+		MaxRows:      256,
+		MaxEntries:   4096,
+	})
+	handler := s.Handler()
+	f.Cleanup(s.Close)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost,
+			"/reorder?technique=RABBIT&quality=off", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+			http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+		if rec.Body.Len() == 0 {
+			t.Fatalf("empty response body for status %d", rec.Code)
+		}
+	})
+}

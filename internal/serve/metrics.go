@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two millisecond histogram
+// buckets: bucket i counts jobs with latency < 2^i ms, the last bucket is
+// the overflow (+Inf).
+const latencyBuckets = 18
+
+// techStats aggregates per-technique job outcomes.
+type techStats struct {
+	jobs    int64
+	errors  int64
+	totalNs int64
+	// buckets[i] counts jobs with elapsed < 2^i milliseconds; the final
+	// bucket counts everything slower.
+	buckets [latencyBuckets]int64
+}
+
+// metrics is the service's instrumentation surface, rendered by /metrics
+// in a Prometheus-style text format with deterministic line order.
+type metrics struct {
+	mu         sync.Mutex
+	requests   map[string]int64 // by path
+	statuses   map[int]int64    // by HTTP status
+	cacheHits  int64
+	cacheMiss  int64
+	dedupWaits int64 // requests that piggybacked on an in-flight computation
+	shedQueue  int64 // 429s from queue saturation
+	shedSize   int64 // 413s from body or dimension limits
+	inFlight   int64 // HTTP requests currently being handled
+	perTech    map[string]*techStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]int64),
+		statuses: make(map[int]int64),
+		perTech:  make(map[string]*techStats),
+	}
+}
+
+func (m *metrics) requestStarted(path string) {
+	m.mu.Lock()
+	m.requests[path]++
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) requestFinished(status int) {
+	m.mu.Lock()
+	m.statuses[status]++
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMissed() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
+func (m *metrics) dedupWait() { m.mu.Lock(); m.dedupWaits++; m.mu.Unlock() }
+func (m *metrics) queueShed() { m.mu.Lock(); m.shedQueue++; m.mu.Unlock() }
+func (m *metrics) sizeShed()  { m.mu.Lock(); m.shedSize++; m.mu.Unlock() }
+
+// observeJob records one completed reordering job for the technique.
+func (m *metrics) observeJob(technique string, elapsed time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.perTech[technique]
+	if ts == nil {
+		ts = &techStats{}
+		m.perTech[technique] = ts
+	}
+	ts.jobs++
+	if failed {
+		ts.errors++
+	}
+	ts.totalNs += elapsed.Nanoseconds()
+	ms := elapsed.Milliseconds()
+	b := 0
+	for b < latencyBuckets-1 && ms >= 1<<b {
+		b++
+	}
+	ts.buckets[b]++
+}
+
+// snapshotCounters returns (hits, misses) for tests and the amortization
+// report.
+func (m *metrics) snapshotCounters() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMiss
+}
+
+// render writes the exposition text. queueDepth and cacheLen are sampled
+// by the caller at render time (they live in the pool and cache, not
+// here).
+func (m *metrics) render(w io.Writer, queueDepth, cacheLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	paths := make([]string, 0, len(m.requests))
+	for p := range m.requests {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(w, "reorderd_requests_total{path=%q} %d\n", p, m.requests[p])
+	}
+
+	codes := make([]int, 0, len(m.statuses))
+	for c := range m.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "reorderd_responses_total{status=\"%d\"} %d\n", c, m.statuses[c])
+	}
+
+	fmt.Fprintf(w, "reorderd_in_flight %d\n", m.inFlight)
+	fmt.Fprintf(w, "reorderd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "reorderd_cache_entries %d\n", cacheLen)
+	fmt.Fprintf(w, "reorderd_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintf(w, "reorderd_cache_misses_total %d\n", m.cacheMiss)
+	ratio := 0.0
+	if lookups := m.cacheHits + m.cacheMiss; lookups > 0 {
+		ratio = float64(m.cacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "reorderd_cache_hit_ratio %.6f\n", ratio)
+	fmt.Fprintf(w, "reorderd_dedup_waits_total %d\n", m.dedupWaits)
+	fmt.Fprintf(w, "reorderd_shed_queue_total %d\n", m.shedQueue)
+	fmt.Fprintf(w, "reorderd_shed_size_total %d\n", m.shedSize)
+
+	techs := make([]string, 0, len(m.perTech))
+	for name := range m.perTech {
+		techs = append(techs, name)
+	}
+	sort.Strings(techs)
+	for _, name := range techs {
+		ts := m.perTech[name]
+		fmt.Fprintf(w, "reorderd_jobs_total{technique=%q} %d\n", name, ts.jobs)
+		fmt.Fprintf(w, "reorderd_job_errors_total{technique=%q} %d\n", name, ts.errors)
+		fmt.Fprintf(w, "reorderd_job_seconds_sum{technique=%q} %.6f\n", name, float64(ts.totalNs)/1e9)
+		cum := int64(0)
+		for b := 0; b < latencyBuckets; b++ {
+			cum += ts.buckets[b]
+			le := fmt.Sprintf("%d", int64(1)<<b)
+			if b == latencyBuckets-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(w, "reorderd_job_ms_bucket{technique=%q,le=%q} %d\n", name, le, cum)
+		}
+	}
+}

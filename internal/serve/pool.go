@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by trySubmit when the job queue is full — the
+// service's queue-depth load-shedding signal, mapped to HTTP 429.
+var ErrSaturated = errors.New("serve: job queue saturated")
+
+// ErrShuttingDown is returned by trySubmit once the pool is draining —
+// mapped to HTTP 503.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// workerPool runs submitted jobs on a fixed set of worker goroutines with
+// a bounded wait queue. Admission is non-blocking: when the queue is full
+// the submission fails immediately with ErrSaturated, which keeps the
+// HTTP handlers from accumulating unbounded blocked requests under
+// overload (admission control per Asudeh et al.'s preprocessing-latency
+// concern).
+type workerPool struct {
+	mu     sync.Mutex
+	queue  chan func()
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// newWorkerPool starts workers goroutines draining a queue of depth slots.
+func newWorkerPool(workers, depth int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &workerPool{queue: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.queue {
+				job()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues the job without blocking. It fails with ErrSaturated
+// when the queue is full and ErrShuttingDown once close has begun.
+func (p *workerPool) trySubmit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrShuttingDown
+	}
+	select {
+	case p.queue <- job:
+		return nil
+	default:
+		return ErrSaturated
+	}
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (p *workerPool) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// close stops admission, drains already-queued jobs, and waits for every
+// worker to finish — the graceful-shutdown path. Safe to call twice.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,66 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func digestFixture() *CSR {
+	coo := NewCOO(8, 8, 16)
+	for i := int32(0); i < 8; i++ {
+		coo.Add(i, i, float32(i)+1)
+		coo.Add(i, (i+3)%8, 0.5)
+	}
+	return coo.ToCSR()
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a := digestFixture()
+	b := digestFixture()
+	da, db := a.Digest(), b.Digest()
+	if da != db {
+		t.Fatalf("identical matrices digest differently: %s vs %s", da, db)
+	}
+	if !strings.HasPrefix(da, "sha256:") || len(da) != len("sha256:")+64 {
+		t.Fatalf("unexpected digest shape %q", da)
+	}
+	if a.Clone().Digest() != da {
+		t.Fatal("clone digests differently")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := digestFixture()
+	d := base.Digest()
+
+	valueChanged := base.Clone()
+	valueChanged.Values[0] += 1
+	if valueChanged.Digest() == d {
+		t.Fatal("value change not reflected in digest")
+	}
+
+	permuted := base.PermuteSymmetric(Permutation{1, 0, 2, 3, 4, 5, 6, 7})
+	if permuted.Digest() == d {
+		t.Fatal("permuted matrix digests identically")
+	}
+
+	// Same flat index streams, different row split: a 1x2 matrix with one
+	// entry vs a 2x1 matrix with one entry have identical ColIndices and
+	// Values; the shape header must separate them.
+	a := &CSR{NumRows: 1, NumCols: 2, RowOffsets: []int32{0, 1}, ColIndices: []int32{0}, Values: []float32{1}}
+	b := &CSR{NumRows: 2, NumCols: 1, RowOffsets: []int32{0, 1, 1}, ColIndices: []int32{0}, Values: []float32{1}}
+	if a.Digest() == b.Digest() {
+		t.Fatal("shape not reflected in digest")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	empty := NewCOO(0, 0, 0).ToCSR()
+	if empty.Digest() == "" {
+		t.Fatal("empty matrix has empty digest")
+	}
+	oneEmptyRow := NewCOO(1, 1, 0).ToCSR()
+	if empty.Digest() == oneEmptyRow.Digest() {
+		t.Fatal("0x0 and 1x1-empty digest identically")
+	}
+}

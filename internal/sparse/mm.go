@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,8 +18,45 @@ import (
 // storage on read (mirroring off-diagonal entries), which matches how the
 // kernels and reordering techniques consume matrices.
 
+// ErrTooLarge is wrapped by ReadMatrixMarketLimited when the declared
+// matrix dimensions or entry count exceed the caller's limits. Servers use
+// errors.Is(err, ErrTooLarge) to map the condition to a 413 response.
+var ErrTooLarge = errors.New("sparse: matrix exceeds size limits")
+
+// MMLimits bounds what ReadMatrixMarketLimited will accept. Zero fields
+// mean unlimited. The limits are enforced against the declared size line
+// before any dimension-proportional allocation happens, so an absurd
+// header cannot force gigabytes of row-offset storage on a trusted-input
+// code path.
+type MMLimits struct {
+	MaxRows    int32
+	MaxCols    int32
+	MaxEntries int
+}
+
+// check returns an ErrTooLarge-wrapping error when the declared sizes
+// exceed the limits.
+func (l MMLimits) check(rows, cols int32, nnz int) error {
+	if l.MaxRows > 0 && rows > l.MaxRows {
+		return fmt.Errorf("%w: %d rows exceed limit %d", ErrTooLarge, rows, l.MaxRows)
+	}
+	if l.MaxCols > 0 && cols > l.MaxCols {
+		return fmt.Errorf("%w: %d columns exceed limit %d", ErrTooLarge, cols, l.MaxCols)
+	}
+	if l.MaxEntries > 0 && nnz > l.MaxEntries {
+		return fmt.Errorf("%w: %d entries exceed limit %d", ErrTooLarge, nnz, l.MaxEntries)
+	}
+	return nil
+}
+
 // ReadMatrixMarket parses a MatrixMarket coordinate stream into a CSR matrix.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	return ReadMatrixMarketLimited(r, MMLimits{})
+}
+
+// ReadMatrixMarketLimited is ReadMatrixMarket with declared-size limits,
+// the variant network-facing callers must use.
+func ReadMatrixMarketLimited(r io.Reader, limits MMLimits) (*CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	header, err := readLine(br)
 	if err != nil {
@@ -64,6 +102,9 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	}
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, fmt.Errorf("sparse: negative MatrixMarket sizes %d %d %d", rows, cols, nnz)
+	}
+	if err := limits.check(rows, cols, nnz); err != nil {
+		return nil, err
 	}
 	// The declared nonzero count is untrusted input: use it only as a
 	// bounded capacity hint so absurd headers cannot force allocation.

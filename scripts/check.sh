@@ -25,11 +25,20 @@ go test -run 'TestGolden' -count=1 ./internal/experiments
 echo "==> parallel suite smoke: cmd/experiments -workers=4"
 go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
 
+echo "==> lint: internal/serve (service code must be suppression-free)"
+go run ./cmd/lint ./internal/serve
+
+echo "==> reorderd service smoke (in-process HTTP round trip)"
+go run ./cmd/reorderd -smoke
+
 echo "==> fuzz smoke: FuzzValidCSR / FuzzValidPermutation (internal/check)"
 go test -run=NONE -fuzz=FuzzValidCSR -fuzztime=5s ./internal/check
 go test -run=NONE -fuzz=FuzzValidPermutation -fuzztime=5s ./internal/check
 
 echo "==> fuzz smoke: FuzzRabbitRoundTrip (internal/core)"
 go test -run=NONE -fuzz=FuzzRabbitRoundTrip -fuzztime=5s ./internal/core
+
+echo "==> fuzz smoke: FuzzReorderHandler (internal/serve)"
+go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
 
 echo "All checks passed."
