@@ -5,10 +5,14 @@
 //
 //	cachesim -in a.mtx [-techniques RANDOM,RABBIT,RABBIT++] [-kernel spmv-csr]
 //	         [-l2 262144] [-line 128] [-ways 16] [-belady] [-workers n]
+//	         [-impl fast|reference]
 //
 // Techniques are reordered and simulated concurrently on a bounded worker
 // pool (-workers, default all CPUs); the table rows keep the -techniques
-// order regardless of completion order.
+// order regardless of completion order. -impl selects the simulator
+// implementation: the arena/streaming fast path (default) or the seed
+// reference implementation, which produces bit-identical numbers and
+// exists for differential checks.
 package main
 
 import (
@@ -37,16 +41,21 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "input MatrixMarket file (required)")
-		techs  = flag.String("techniques", "ORIGINAL,RANDOM,RABBIT,RABBIT++", "comma-separated techniques")
-		kernel = flag.String("kernel", "spmv-csr", "kernel: spmv-csr, spmv-coo, spmm-4, spmm-256")
-		l2     = flag.Int64("l2", 256<<10, "L2 capacity in bytes")
-		line   = flag.Int64("line", 128, "cache line size in bytes")
-		ways   = flag.Int("ways", 16, "associativity")
+		in      = flag.String("in", "", "input MatrixMarket file (required)")
+		techs   = flag.String("techniques", "ORIGINAL,RANDOM,RABBIT,RABBIT++", "comma-separated techniques")
+		kernel  = flag.String("kernel", "spmv-csr", "kernel: spmv-csr, spmv-coo, spmm-4, spmm-256")
+		l2      = flag.Int64("l2", 256<<10, "L2 capacity in bytes")
+		line    = flag.Int64("line", 128, "cache line size in bytes")
+		ways    = flag.Int("ways", 16, "associativity")
 		belady  = flag.Bool("belady", false, "also simulate Belady-optimal replacement")
 		workers = flag.Int("workers", 0, "concurrent technique simulations (0 = all CPUs, 1 = serial)")
+		impl    = flag.String("impl", "fast", "simulator implementation: fast or reference (differential check)")
 	)
 	flag.Parse()
+	simImpl, err := cachesim.ParseImpl(*impl)
+	if err != nil {
+		return err
+	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
@@ -121,7 +130,7 @@ func run() error {
 				return
 			}
 			pm := m.PermuteSymmetric(t.Order(m))
-			s := cachesim.SimulateLRU(cfg, traceFor(pm))
+			s := cachesim.SimulateLRUWith(cfg, simImpl, traceFor(pm))
 			row := []string{
 				t.Name(),
 				report.X(gpumodel.NormalizedTraffic(s, k, n, nnz)),
@@ -129,7 +138,8 @@ func run() error {
 				report.Pct(s.DeadLineFraction()),
 			}
 			if *belady {
-				bs := cachesim.SimulateBelady(cfg, cachesim.RecordTrace(traceFor(pm)))
+				hint := k.TraceAccessUpperBound(n, nnz, *line)
+				bs := cachesim.SimulateBeladyFunc(cfg, simImpl, traceFor(pm), hint)
 				row = append(row, report.X(gpumodel.NormalizedTraffic(bs, k, n, nnz)))
 			}
 			rows[i] = row

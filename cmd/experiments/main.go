@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-corpus small|full] [-matrices a,b,c]
-//	            [-workers n] [-csv] [-v]
+//	            [-workers n] [-impl fast|reference] [-csv] [-v]
 //
 // Run "experiments -list" for the experiment inventory. With no -run flag
 // every experiment runs, sharing one corpus and its cached intermediate
@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cachesim"
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/gpumodel"
@@ -40,6 +41,7 @@ func run() error {
 		workers  = flag.Int("workers", 0, "concurrent simulation workers (0 = all CPUs, 1 = serial)")
 		verbose  = flag.Bool("v", false, "log per-matrix progress to stderr")
 		list     = flag.Bool("list", false, "list experiments and corpus matrices, then exit")
+		impl     = flag.String("impl", "fast", "cache simulator implementation: fast or reference (differential check)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,11 @@ func run() error {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
 	cfg.Workers = *workers
+	simImpl, err := cachesim.ParseImpl(*impl)
+	if err != nil {
+		return err
+	}
+	cfg.Impl = simImpl
 	runner := experiments.NewRunner(cfg)
 
 	fmt.Printf("# corpus=%s device=%q matrices=%d workers=%d\n",

@@ -6,6 +6,13 @@ package cachesim
 // future is evicted. Belady's policy is an oracle — it needs the whole
 // trace up front — and bounds the DRAM traffic any real replacement policy
 // could achieve (Figure 8).
+//
+// This is the reference implementation (a flat trace, a same-length
+// next-use array, and a Go map of last-seen indices); the hot paths use
+// the chunked streaming equivalent SimulateBeladyTrace, which produces
+// bit-identical Stats. Deterministic: the victim scan is by way index with
+// exact next-use comparison, so the same trace always yields the same
+// Stats.
 func SimulateBelady(cfg Config, trace []int64) Stats {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -95,10 +102,28 @@ func SimulateBelady(cfg Config, trace []int64) Stats {
 	return stats
 }
 
-// RecordTrace materializes a streaming trace into a slice for Belady
-// simulation.
+// RecordTrace materializes a streaming trace into a flat slice for the
+// reference Belady simulation. Prefer RecordTraceSized when the caller can
+// estimate the access count (e.g. from gpumodel.Kernel.TraceAccessUpperBound
+// on CSR.NNZ()): without a hint the slice grows by append doubling, which
+// transiently holds up to 2× the final recording.
 func RecordTrace(trace func(emit func(line int64))) []int64 {
-	var out []int64
+	return RecordTraceSized(trace, 0)
+}
+
+// RecordTraceSized is RecordTrace with a capacity hint (expected number of
+// accesses). The hint is clamped to [0, 1<<27] entries (1 GB of int64s) so
+// an overflowed or hostile estimate cannot demand an absurd up-front
+// allocation; recordings beyond the clamp simply resume append growth.
+func RecordTraceSized(trace func(emit func(line int64)), sizeHint int64) []int64 {
+	const maxHint = 1 << 27
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	if sizeHint > maxHint {
+		sizeHint = maxHint
+	}
+	out := make([]int64, 0, sizeHint)
 	trace(func(line int64) { out = append(out, line) })
 	return out
 }

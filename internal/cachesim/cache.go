@@ -29,9 +29,13 @@ func assertCoherent(s Stats) {
 // LineBytes*Ways so the set count is integral; any positive set count is
 // supported (the A6000 L2 has 3072 sets).
 type Config struct {
+	// CapacityBytes is the total cache capacity in bytes.
 	CapacityBytes int64
-	LineBytes     int64
-	Ways          int32
+	// LineBytes is the cache-line size in bytes; line IDs are
+	// address/LineBytes.
+	LineBytes int64
+	// Ways is the associativity (lines per set).
+	Ways int32
 }
 
 // Sets returns the number of sets.
@@ -65,11 +69,16 @@ func (c Config) setIndexer() func(int64) int64 {
 
 // Stats accumulates the outcome of a simulation.
 type Stats struct {
-	Accesses   int64
-	Hits       int64
-	Misses     int64
-	Compulsory int64 // first-touch misses
-	Evictions  int64
+	// Accesses counts line-granular cache lookups.
+	Accesses int64
+	// Hits counts accesses that found their line resident.
+	Hits int64
+	// Misses counts accesses that did not (Accesses = Hits + Misses).
+	Misses int64
+	// Compulsory counts first-touch misses: lines never seen before.
+	Compulsory int64
+	// Evictions counts resident lines displaced to make room for a fill.
+	Evictions int64
 	// DeadFills counts fills that were evicted (or still resident at
 	// Finalize) without a single hit — wasted cache capacity.
 	DeadFills int64
@@ -97,9 +106,12 @@ func (s Stats) DeadLineFraction() float64 {
 	return float64(s.DeadFills) / float64(s.Misses)
 }
 
-// LRU is a set-associative cache with least-recently-used replacement,
-// modeling the A6000's L2. Access it line by line via Access and read the
-// Stats after Finalize.
+// LRU is the reference implementation of the set-associative
+// least-recently-used cache modeling the A6000's L2: a timestamp scan per
+// access plus a Go map for compulsory classification. The hot paths use
+// FastLRU instead (bit-identical Stats, no per-access allocation); LRU
+// stays as the differential-testing oracle behind ImplReference. Access it
+// line by line via Access and read the Stats after Finalize.
 type LRU struct {
 	cfg   Config
 	setOf func(int64) int64
@@ -192,13 +204,4 @@ func (c *LRU) Finalize() Stats {
 	}
 	assertCoherent(s)
 	return s
-}
-
-// SimulateLRU runs a complete trace through a fresh LRU cache. The trace
-// callback must invoke emit once per line-granular access, in program
-// order.
-func SimulateLRU(cfg Config, trace func(emit func(line int64))) Stats {
-	c := NewLRU(cfg)
-	trace(func(line int64) { c.Access(line) })
-	return c.Finalize()
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled mirrors race_on_test.go for non-race builds.
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled lets single-goroutine bulk tests (the corpus-scale
+// simulator differential) skip under -race, where the instrumentation
+// overhead risks the package test timeout without exercising any
+// concurrency.
+const raceDetectorEnabled = true

@@ -45,6 +45,11 @@ type Config struct {
 	// Workers bounds how many scheduler units run concurrently.
 	// 0 means runtime.NumCPU(); 1 reproduces the serial behaviour.
 	Workers int
+	// Impl selects the cache-simulator implementation. The zero value is
+	// the fast path (arena LRU, streaming Belady); ImplReference runs the
+	// seed implementation for differential checks (cmd/experiments
+	// -impl=reference). Both produce bit-identical Stats.
+	Impl cachesim.Impl
 }
 
 // SmallConfig pairs the Small corpus preset with the matching scaled
@@ -294,7 +299,7 @@ func (r *Runner) SimLRU(md *MatrixData, tech reorder.Technique, k gpumodel.Kerne
 		if done {
 			return
 		}
-		s := cachesim.SimulateLRU(r.cfg.Device.L2, r.traceFor(md, tech, k))
+		s := cachesim.SimulateLRUWith(r.cfg.Device.L2, r.cfg.Impl, r.traceFor(md, tech, k))
 		r.countUnit("lru|" + md.Entry.Name + "|" + key)
 		md.mu.Lock()
 		md.sims[key] = s
@@ -326,8 +331,8 @@ func (r *Runner) SimBelady(md *MatrixData, tech reorder.Technique, k gpumodel.Ke
 		if done {
 			return
 		}
-		recorded := cachesim.RecordTrace(r.traceFor(md, tech, k))
-		s := cachesim.SimulateBelady(r.cfg.Device.L2, recorded)
+		hint := k.TraceAccessUpperBound(md.N, md.NNZ, r.cfg.Device.L2.LineBytes)
+		s := cachesim.SimulateBeladyFunc(r.cfg.Device.L2, r.cfg.Impl, r.traceFor(md, tech, k), hint)
 		r.countUnit("belady|" + md.Entry.Name + "|" + key)
 		md.mu.Lock()
 		md.beladys[key] = s

@@ -60,11 +60,11 @@ func (m *metrics) requestFinished(status int) {
 	m.mu.Unlock()
 }
 
-func (m *metrics) cacheHit()  { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheHit()    { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
 func (m *metrics) cacheMissed() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
-func (m *metrics) dedupWait() { m.mu.Lock(); m.dedupWaits++; m.mu.Unlock() }
-func (m *metrics) queueShed() { m.mu.Lock(); m.shedQueue++; m.mu.Unlock() }
-func (m *metrics) sizeShed()  { m.mu.Lock(); m.shedSize++; m.mu.Unlock() }
+func (m *metrics) dedupWait()   { m.mu.Lock(); m.dedupWaits++; m.mu.Unlock() }
+func (m *metrics) queueShed()   { m.mu.Lock(); m.shedQueue++; m.mu.Unlock() }
+func (m *metrics) sizeShed()    { m.mu.Lock(); m.shedSize++; m.mu.Unlock() }
 
 // observeJob records one completed reordering job for the technique.
 func (m *metrics) observeJob(technique string, elapsed time.Duration, failed bool) {

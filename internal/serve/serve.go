@@ -44,10 +44,10 @@ type Config struct {
 	// MaxBodyBytes bounds uploaded MatrixMarket bodies; larger uploads are
 	// shed with 413 (default 64 MiB).
 	MaxBodyBytes int64
-	// MaxRows and MaxEntries bound the declared dimensions of uploaded
-	// matrices, applied before any dimension-proportional allocation
-	// (defaults 1<<22 rows, 1<<26 entries).
-	MaxRows    int32
+	// MaxRows bounds the declared row count of uploaded matrices, applied
+	// before any dimension-proportional allocation (default 1<<22).
+	MaxRows int32
+	// MaxEntries likewise bounds the declared entry count (default 1<<26).
 	MaxEntries int
 	// MaxJobTime caps both the client-requested deadline and the compute
 	// budget of a job once all its waiters are gone (default 2m).

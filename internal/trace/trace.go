@@ -23,13 +23,15 @@ const ElemBytes = 4
 // operand arrays of a kernel over an n×n matrix with nnz nonzeros and an
 // optional dense operand of k columns.
 type Layout struct {
+	// LineBytes is the cache-line size; every base below is a multiple.
 	LineBytes int64
 	Y         int64 // output vector / dense C
 	RowOff    int64 // CSR row offsets (or COO row indices)
 	Col       int64 // column indices
 	Val       int64 // values
 	X         int64 // input vector / dense B
-	End       int64
+	// End is the first byte past the last operand — the total footprint.
+	End int64
 }
 
 // NewLayout lays the operands out back to back with line alignment:

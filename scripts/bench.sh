@@ -1,10 +1,12 @@
 #!/bin/sh
 # Perf trajectory harness: time the full experiment suite serial vs
-# parallel (4 workers) and record the speedup as BENCH_experiments.json.
+# parallel (4 workers) and record the speedup as BENCH_experiments.json,
+# then time the cache simulator's fast path against the reference
+# implementation and record that as BENCH_cachesim.json.
 # Run from the repository root: ./scripts/bench.sh [count]
 #
-# count (default 1) is the -benchtime=<count>x iteration count; raise it
-# on noisy machines.
+# count (default 1) is the -benchtime=<count>x iteration count for the
+# suite benchmark; raise it on noisy machines.
 set -eu
 
 count="${1:-1}"
@@ -38,3 +40,41 @@ cat > BENCH_experiments.json <<EOF
 EOF
 
 echo "==> BENCH_experiments.json (speedup ${speedup}x at 4 workers on ${cpus} CPUs)"
+
+echo "==> go test -bench 'BenchmarkLRUAccess|BenchmarkBelady' ./internal/cachesim"
+simout=$(go test -run='^$' -bench='^(BenchmarkLRUAccess|BenchmarkBelady)$' \
+	-benchmem -timeout 30m ./internal/cachesim)
+echo "$simout"
+
+# go test -benchmem rows: name iters ns/op B/op allocs/op.
+lru_fast=$(echo "$simout" | awk '$1 ~ /^BenchmarkLRUAccess\/fast/ {print $3}')
+lru_fast_allocs=$(echo "$simout" | awk '$1 ~ /^BenchmarkLRUAccess\/fast/ {print $7}')
+lru_ref=$(echo "$simout" | awk '$1 ~ /^BenchmarkLRUAccess\/reference/ {print $3}')
+bel_fast=$(echo "$simout" | awk '$1 ~ /^BenchmarkBelady\/fast/ {print $3}')
+bel_fast_bytes=$(echo "$simout" | awk '$1 ~ /^BenchmarkBelady\/fast/ {print $5}')
+bel_ref=$(echo "$simout" | awk '$1 ~ /^BenchmarkBelady\/reference/ {print $3}')
+bel_ref_bytes=$(echo "$simout" | awk '$1 ~ /^BenchmarkBelady\/reference/ {print $5}')
+if [ -z "$lru_fast" ] || [ -z "$lru_ref" ] || [ -z "$bel_fast" ] || [ -z "$bel_ref" ]; then
+	echo "bench.sh: could not parse cachesim benchmark output" >&2
+	exit 1
+fi
+lru_speedup=$(awk "BEGIN{printf \"%.2f\", $lru_ref/$lru_fast}")
+bel_speedup=$(awk "BEGIN{printf \"%.2f\", $bel_ref/$bel_fast}")
+
+cat > BENCH_cachesim.json <<EOF
+{
+  "benchmark": "cache simulator fast path vs reference (32KB 16-way L2, mixed Zipf+streaming trace)",
+  "lru_access_fast_ns_per_op": $lru_fast,
+  "lru_access_fast_allocs_per_op": $lru_fast_allocs,
+  "lru_access_reference_ns_per_op": $lru_ref,
+  "lru_access_speedup": $lru_speedup,
+  "belady_fast_ns_per_op": $bel_fast,
+  "belady_fast_bytes_per_op": $bel_fast_bytes,
+  "belady_reference_ns_per_op": $bel_ref,
+  "belady_reference_bytes_per_op": $bel_ref_bytes,
+  "belady_speedup": $bel_speedup,
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_cachesim.json (LRU ${lru_speedup}x, Belady ${bel_speedup}x vs reference)"

@@ -22,6 +22,9 @@ go test -tags check ./internal/...
 echo "==> golden-file regression (serial and parallel must match the goldens)"
 go test -run 'TestGolden' -count=1 ./internal/experiments
 
+echo "==> simulator differential: fast vs reference, full corpus x all kernels"
+go test -run 'TestDifferential|TestRunnerImplReference' -count=1 ./internal/experiments
+
 echo "==> parallel suite smoke: cmd/experiments -workers=4"
 go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
 
@@ -40,5 +43,8 @@ go test -run=NONE -fuzz=FuzzRabbitRoundTrip -fuzztime=5s ./internal/core
 
 echo "==> fuzz smoke: FuzzReorderHandler (internal/serve)"
 go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
+
+echo "==> fuzz smoke: FuzzLRUFastVsReference (internal/cachesim differential)"
+go test -run=NONE -fuzz=FuzzLRUFastVsReference -fuzztime=5s ./internal/cachesim
 
 echo "All checks passed."

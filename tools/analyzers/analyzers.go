@@ -1,8 +1,10 @@
 // Package analyzers implements the repository's custom static-analysis
 // passes: mapiter (map iteration order feeding ordering decisions), floatcmp
 // (exact float equality on gain/modularity comparisons), uncheckedcast
-// (unguarded int→int32 index downcasts), and permreturn (exported
-// permutation producers that skip the validation helper).
+// (unguarded int→int32 index downcasts), permreturn (exported permutation
+// producers that skip the validation helper), and doccheck (undocumented
+// exported symbols in the contract packages internal/cachesim,
+// internal/trace, internal/serve).
 //
 // The container pins the dependency set, so golang.org/x/tools is
 // deliberately not available; the tiny framework below mirrors the
@@ -77,7 +79,7 @@ func (a *Analyzer) appliesTo(importPath string) bool {
 
 // All returns the repository's analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatCmp, UncheckedCast, PermReturn}
+	return []*Analyzer{MapIter, FloatCmp, UncheckedCast, PermReturn, DocCheck}
 }
 
 // RunAll runs every applicable analyzer over every package and returns the

@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// DocCheck flags exported declarations without a doc comment in the
+// packages whose godoc the repository treats as API contract: the cache
+// simulator, the trace generators, and the HTTP service. Those packages
+// promise units (bytes, line IDs, accesses) and determinism guarantees in
+// their doc comments, and the differential-testing story depends on readers
+// being able to trust them; an undocumented exported symbol is a contract
+// with no text. scripts/check.sh runs this via cmd/lint.
+var DocCheck = &Analyzer{
+	Name: "doccheck",
+	Doc:  "flags undocumented exported symbols in contract packages",
+	Packages: []string{
+		"internal/cachesim", "internal/trace", "internal/serve",
+	},
+	Run: runDocCheck,
+}
+
+func runDocCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if !decl.Name.IsExported() {
+					continue
+				}
+				if decl.Recv != nil && !exportedReceiver(decl.Recv) {
+					continue // methods on unexported types aren't godoc surface
+				}
+				if decl.Doc == nil {
+					pass.Reportf(decl.Name.Pos(), "exported %s %s has no doc comment; document behaviour, units, and determinism",
+						funcKind(decl), decl.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(pass, decl)
+			}
+		}
+	}
+}
+
+// funcKind names a FuncDecl for diagnostics.
+func funcKind(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// checkGenDecl flags undocumented exported types, vars, and consts. A doc
+// comment on the enclosing declaration group covers every name in it (the
+// standard iota-block convention); otherwise each exported spec needs its
+// own comment.
+func checkGenDecl(pass *Pass, decl *ast.GenDecl) {
+	groupDoc := decl.Doc != nil
+	for _, spec := range decl.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if !groupDoc && s.Doc == nil {
+				pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment; document invariants, units, and determinism", s.Name.Name)
+			}
+			checkFieldDocs(pass, s)
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment", declKind(decl), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFieldDocs flags undocumented exported fields of exported structs and
+// undocumented exported methods of exported interfaces — both render in
+// godoc and both carry unit contracts (e.g. Config.CapacityBytes).
+func checkFieldDocs(pass *Pass, ts *ast.TypeSpec) {
+	var fields *ast.FieldList
+	switch t := ts.Type.(type) {
+	case *ast.StructType:
+		fields = t.Fields
+	case *ast.InterfaceType:
+		fields = t.Methods
+	default:
+		return
+	}
+	for _, field := range fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported field or method %s.%s has no doc comment", ts.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// declKind names a GenDecl token for diagnostics.
+func declKind(decl *ast.GenDecl) string {
+	return decl.Tok.String()
+}
