@@ -52,7 +52,7 @@ func run() error {
 	st.Add("rows x cols", fmt.Sprintf("%d x %d", m.NumRows, m.NumCols))
 	st.Add("nonzeros", fmt.Sprintf("%d", m.NNZ()))
 	st.Add("average degree", fmt.Sprintf("%.2f", m.AverageDegree()))
-	st.Add("degree skew (top 10%)", report.Pct(m.DegreeSkew(0.10)))
+	st.Add("degree skew (top 10%)", report.Pct(quality.DegreeSkew(m)))
 	st.Add("empty rows", report.Pct(float64(m.EmptyRows())/float64(max32(m.NumRows, 1))))
 	st.Add("bandwidth", fmt.Sprintf("%d", m.Bandwidth()))
 	st.Add("pattern symmetric", fmt.Sprintf("%v", m.IsPatternSymmetric()))

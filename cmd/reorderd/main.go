@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -175,6 +176,22 @@ func runSmoke(cfg serve.Config) error {
 		return fmt.Errorf("cache hit counter not incremented (hits=%d)", hits)
 	}
 
+	// technique=auto: the advisor must pick a concrete technique, name it
+	// in the response, and return a valid permutation.
+	var auto serveReply
+	if err := postReorderTech(base, "auto", body, &auto); err != nil {
+		return fmt.Errorf("auto request: %w", err)
+	}
+	if auto.Technique == "" || strings.EqualFold(auto.Technique, "auto") {
+		return fmt.Errorf("auto request did not resolve to a concrete technique (got %q)", auto.Technique)
+	}
+	if auto.Advisor == nil || len(auto.Advisor.Ranked) == 0 {
+		return fmt.Errorf("auto response missing the advisor block")
+	}
+	if err := validatePerm(auto.Permutation, m.NumRows); err != nil {
+		return fmt.Errorf("auto permutation: %w", err)
+	}
+
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		return err
@@ -183,6 +200,22 @@ func runSmoke(cfg serve.Config) error {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: status %d", mresp.StatusCode)
+	}
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(string(mbody), "reorderd_advisor_recommendations_total") {
+		return fmt.Errorf("metrics missing advisor recommendation counter")
 	}
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -196,16 +229,27 @@ func runSmoke(cfg serve.Config) error {
 }
 
 type serveReply struct {
+	Technique   string  `json:"technique"`
 	Cached      bool    `json:"cached"`
 	Permutation []int32 `json:"permutation"`
 	Quality     *struct {
 		Insularity float64 `json:"insularity"`
 		Modularity float64 `json:"modularity"`
 	} `json:"quality"`
+	Advisor *struct {
+		Model  string `json:"model"`
+		Ranked []struct {
+			Technique string `json:"technique"`
+		} `json:"ranked"`
+	} `json:"advisor"`
 }
 
 func postReorder(base string, body []byte, out *serveReply) error {
-	resp, err := http.Post(base+"/reorder?technique=RABBIT", "text/plain", bytes.NewReader(body))
+	return postReorderTech(base, "RABBIT", body, out)
+}
+
+func postReorderTech(base, technique string, body []byte, out *serveReply) error {
+	resp, err := http.Post(base+"/reorder?technique="+technique, "text/plain", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gpumodel"
+	"repro/internal/quality"
 	"repro/internal/reorder"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -36,7 +37,7 @@ func main() {
 	kernel := gpumodel.Kernel{Kind: gpumodel.SpMVCSR}
 	n, nnz := int64(m.NumRows), int64(m.NNZ())
 	fmt.Printf("web-crawl-like matrix: %d rows, %d nnz, skew(top10%%)=%.1f%%\n\n",
-		n, nnz, 100*m.DegreeSkew(0.10))
+		n, nnz, 100*quality.DegreeSkew(m))
 
 	tb := report.New(fmt.Sprintf("SpMV on %s (L2 %d KB)", device.Name, device.L2.CapacityBytes>>10),
 		"technique", "traffic/ideal", "runtime/ideal", "hit-rate", "dead-lines")

@@ -1,0 +1,183 @@
+package advisor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one training/evaluation row: a matrix's features paired with
+// the measured SpMV LRU miss rate of each candidate technique, produced by
+// the experiment harness (experiments.AdvisorSamples) or read back from a
+// dataset TSV.
+type Sample struct {
+	// Matrix is the corpus entry name the sample came from.
+	Matrix string `json:"matrix"`
+	// Features is the extracted feature vector.
+	Features Features `json:"features"`
+	// MissRates maps technique name to its measured miss rate on this
+	// matrix; techniques may be absent for partially simulated datasets.
+	MissRates map[string]float64 `json:"miss_rates"`
+}
+
+// Oracle returns the technique with the lowest measured miss rate among
+// the Candidates present in the sample (ties broken by Candidates order)
+// and that rate. It returns "" when the sample carries no candidate rates.
+func (s Sample) Oracle() (string, float64) {
+	best, bestRate := "", 0.0
+	for _, t := range Candidates() {
+		r, ok := s.MissRates[t]
+		if !ok {
+			continue
+		}
+		if best == "" || r < bestRate {
+			best, bestRate = t, r
+		}
+	}
+	return best, bestRate
+}
+
+// datasetFeatureCols are the per-feature TSV columns, in Features field
+// order; setFeature's cases must stay aligned with this list.
+var datasetFeatureCols = []string{
+	"rows", "nnz", "density", "avg_degree", "empty_row_frac", "degree_skew",
+	"row_len_cov", "bandwidth_frac", "profile_frac", "symmetry_est",
+	"insularity_est",
+}
+
+// featureValues returns the raw field values in datasetFeatureCols order.
+func featureValues(f Features) []float64 {
+	return []float64{
+		float64(f.Rows), float64(f.NNZ), f.Density, f.AvgDegree,
+		f.EmptyRowFrac, f.DegreeSkew, f.RowLenCoV, f.BandwidthFrac,
+		f.ProfileFrac, f.SymmetryEst, f.InsularityEst,
+	}
+}
+
+// setFeature assigns the datasetFeatureCols[i]-th field from a TSV value.
+func setFeature(f *Features, i int, v float64) {
+	switch i {
+	case 0:
+		f.Rows = int64(v)
+	case 1:
+		f.NNZ = int64(v)
+	case 2:
+		f.Density = v
+	case 3:
+		f.AvgDegree = v
+	case 4:
+		f.EmptyRowFrac = v
+	case 5:
+		f.DegreeSkew = v
+	case 6:
+		f.RowLenCoV = v
+	case 7:
+		f.BandwidthFrac = v
+	case 8:
+		f.ProfileFrac = v
+	case 9:
+		f.SymmetryEst = v
+	case 10:
+		f.InsularityEst = v
+	}
+}
+
+// missRateCol is the TSV column prefix for per-technique miss rates.
+const missRateCol = "miss:"
+
+// WriteDataset renders samples as a TSV with one header line: "matrix",
+// the feature columns, then one "miss:<technique>" column per candidate.
+// Absent miss rates render as "-". The output is deterministic for a
+// given sample slice, so datasets diff cleanly.
+func WriteDataset(w io.Writer, samples []Sample) error {
+	bw := bufio.NewWriter(w)
+	cols := append([]string{"matrix"}, datasetFeatureCols...)
+	for _, t := range Candidates() {
+		cols = append(cols, missRateCol+t)
+	}
+	fmt.Fprintln(bw, strings.Join(cols, "\t"))
+	for _, s := range samples {
+		fields := make([]string, 0, len(cols))
+		fields = append(fields, s.Matrix)
+		for _, v := range featureValues(s.Features) {
+			fields = append(fields, formatTSV(v))
+		}
+		for _, t := range Candidates() {
+			if r, ok := s.MissRates[t]; ok {
+				fields = append(fields, formatTSV(r))
+			} else {
+				fields = append(fields, "-")
+			}
+		}
+		fmt.Fprintln(bw, strings.Join(fields, "\t"))
+	}
+	return bw.Flush()
+}
+
+// formatTSV renders a float compactly but losslessly for TSV cells.
+func formatTSV(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 17, 64)
+}
+
+// ReadDataset parses a TSV produced by WriteDataset. It is
+// header-driven: feature and miss-rate columns are matched by name, so
+// datasets survive column reordering and technique-set changes.
+func ReadDataset(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("advisor: empty dataset")
+	}
+	header := strings.Split(strings.TrimRight(sc.Text(), "\n"), "\t")
+	if len(header) == 0 || header[0] != "matrix" {
+		return nil, fmt.Errorf("advisor: dataset header must start with %q", "matrix")
+	}
+	featIdx := make(map[string]int, len(datasetFeatureCols))
+	for i, name := range datasetFeatureCols {
+		featIdx[name] = i
+	}
+	var samples []Sample
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("advisor: dataset line %d has %d fields, header has %d", line, len(fields), len(header))
+		}
+		s := Sample{Matrix: fields[0], MissRates: make(map[string]float64)}
+		for col := 1; col < len(header); col++ {
+			cell := fields[col]
+			if cell == "-" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("advisor: dataset line %d column %q: %w", line, header[col], err)
+			}
+			if i, ok := featIdx[header[col]]; ok {
+				setFeature(&s.Features, i, v)
+			} else if t, ok := strings.CutPrefix(header[col], missRateCol); ok {
+				s.MissRates[t] = v
+			} else {
+				return nil, fmt.Errorf("advisor: dataset line %d: unknown column %q", line, header[col])
+			}
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}

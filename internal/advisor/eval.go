@@ -1,0 +1,130 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// evalTieEps absorbs float noise when deciding whether a predicted
+// technique ties the oracle's miss rate.
+const evalTieEps = 1e-12
+
+// MatrixEval is one matrix's row in an evaluation report.
+type MatrixEval struct {
+	// Matrix is the corpus entry name.
+	Matrix string `json:"matrix"`
+	// Predicted is the model's top-1 technique.
+	Predicted string `json:"predicted"`
+	// Oracle is the measured-best technique (Candidates-order tie-break).
+	Oracle string `json:"oracle"`
+	// PredictedRate and OracleRate are the measured miss rates of the two
+	// picks; Regret is their difference (always >= 0).
+	PredictedRate float64 `json:"predicted_rate"`
+	// OracleRate is the measured miss rate of the oracle technique.
+	OracleRate float64 `json:"oracle_rate"`
+	// Regret is PredictedRate - OracleRate.
+	Regret float64 `json:"regret"`
+	// Correct reports whether the prediction matched the oracle's miss
+	// rate within evalTieEps (equal-quality ties count as correct).
+	Correct bool `json:"correct"`
+}
+
+// EvalReport aggregates a model's performance over a sample set.
+type EvalReport struct {
+	// Model names the evaluated model.
+	Model string `json:"model"`
+	// Samples is the number of matrices evaluated.
+	Samples int `json:"samples"`
+	// Top1Accuracy is the fraction of matrices where the model's pick
+	// matches the oracle's miss rate within evalTieEps.
+	Top1Accuracy float64 `json:"top1_accuracy"`
+	// MeanRegret is the mean PredictedRate - OracleRate over the samples.
+	MeanRegret float64 `json:"mean_regret"`
+	// MaxRegret is the worst single-matrix regret.
+	MaxRegret float64 `json:"max_regret"`
+	// PerMatrix holds the individual rows, in input order.
+	PerMatrix []MatrixEval `json:"per_matrix"`
+}
+
+// Evaluate scores a model against measured miss rates: for every sample
+// carrying at least one candidate rate, the model's top-ranked technique
+// with a measured rate is compared to the oracle pick. A prediction whose
+// technique lacks a measured rate falls through to the next ranked
+// candidate, so partially simulated datasets still evaluate.
+func Evaluate(model Model, samples []Sample) EvalReport {
+	rep := EvalReport{Model: model.Name()}
+	for _, s := range samples {
+		oracle, oracleRate := s.Oracle()
+		if oracle == "" {
+			continue
+		}
+		pred, predRate := "", 0.0
+		for _, cand := range model.Rank(s.Features) {
+			if r, ok := s.MissRates[cand.Technique]; ok {
+				pred, predRate = cand.Technique, r
+				break
+			}
+		}
+		if pred == "" {
+			continue
+		}
+		row := MatrixEval{
+			Matrix:        s.Matrix,
+			Predicted:     pred,
+			Oracle:        oracle,
+			PredictedRate: predRate,
+			OracleRate:    oracleRate,
+			Regret:        predRate - oracleRate,
+			Correct:       predRate <= oracleRate+evalTieEps,
+		}
+		rep.PerMatrix = append(rep.PerMatrix, row)
+		rep.Samples++
+		if row.Correct {
+			rep.Top1Accuracy++
+		}
+		rep.MeanRegret += row.Regret
+		if row.Regret > rep.MaxRegret {
+			rep.MaxRegret = row.Regret
+		}
+	}
+	if rep.Samples > 0 {
+		rep.Top1Accuracy /= float64(rep.Samples)
+		rep.MeanRegret /= float64(rep.Samples)
+	}
+	return rep
+}
+
+// Summary renders the report's aggregate line, e.g. for CLI output.
+func (r EvalReport) Summary() string {
+	return fmt.Sprintf("model=%s samples=%d top1=%.3f mean_regret=%.5f max_regret=%.5f",
+		r.Model, r.Samples, r.Top1Accuracy, r.MeanRegret, r.MaxRegret)
+}
+
+// Mistakes returns the per-matrix rows where the model missed the oracle,
+// worst regret first, for error analysis in CLI output.
+func (r EvalReport) Mistakes() []MatrixEval {
+	var out []MatrixEval
+	for _, row := range r.PerMatrix {
+		if !row.Correct {
+			out = append(out, row)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Regret > out[b].Regret })
+	return out
+}
+
+// CompareBaselines evaluates the model alongside every always-X baseline
+// and the rule model on the same samples, returning reports keyed by model
+// name in a deterministic order (model, rule, then fixed baselines in
+// Candidates order).
+func CompareBaselines(model Model, samples []Sample) []EvalReport {
+	reports := []EvalReport{Evaluate(model, samples)}
+	if !strings.HasPrefix(model.Name(), "rule") {
+		reports = append(reports, Evaluate(RuleModel{}, samples))
+	}
+	for _, t := range Candidates() {
+		reports = append(reports, Evaluate(FixedModel{Technique: t}, samples))
+	}
+	return reports
+}

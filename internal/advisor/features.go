@@ -1,0 +1,308 @@
+// Package advisor predicts the best reordering technique for a matrix from
+// cheap structural features, closing the selection loop the paper's
+// Section V analysis opens: insularity and degree skew *predict* whether
+// community ordering (RABBIT) lands near the ideal run time, and RABBIT++
+// exists precisely because skewed matrices defeat plain community
+// ordering. Instead of paying for a full per-technique simulation sweep,
+// the advisor extracts an O(nnz) feature vector (degree skew, row-length
+// variation, bandwidth/profile, density, symmetry estimate, and a sampled
+// one-level Louvain insularity estimate) and routes the matrix through
+// either the paper's published thresholds (RuleModel) or a least-squares
+// per-technique miss-rate scorer trained offline from the experiment
+// harness (LinearModel).
+package advisor
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/community"
+	"repro/internal/quality"
+	"repro/internal/sparse"
+)
+
+// cancelStride is how many rows each extraction pass scans between
+// cooperative cancellation checks.
+const cancelStride = 4096
+
+// symmetrySampleBudget bounds how many stored nonzeros the symmetry
+// estimate probes for a mirrored entry.
+const symmetrySampleBudget = 2048
+
+// insularitySampleNodes bounds the induced-subgraph size of the sampled
+// one-level Louvain insularity estimate.
+const insularitySampleNodes = 2048
+
+// insularitySweeps bounds the local-moving sweeps of the one-level Louvain
+// estimate; the estimate trades detection quality for bounded work.
+const insularitySweeps = 4
+
+// Features is the structural description of a matrix the advisor's models
+// consume. Every field is computable in O(nnz + n) time and deterministic:
+// repeated extraction of the same matrix yields bit-identical values.
+//
+// DegreeSkew, RowLenCoV, Density, AvgDegree, EmptyRowFrac, and SymmetryEst
+// are invariant under symmetric relabeling of the matrix. BandwidthFrac,
+// ProfileFrac, and InsularityEst intentionally are not: they describe the
+// matrix *as published* (the ordering an incoming request actually carries),
+// which is exactly what the advisor must judge.
+type Features struct {
+	// Rows is the matrix dimension (square matrices only reach the advisor).
+	Rows int64 `json:"rows"`
+	// NNZ is the stored nonzero count.
+	NNZ int64 `json:"nnz"`
+	// Density is NNZ / Rows², 0 for an empty matrix.
+	Density float64 `json:"density"`
+	// AvgDegree is NNZ / Rows, the mean row length.
+	AvgDegree float64 `json:"avg_degree"`
+	// EmptyRowFrac is the fraction of rows with no stored nonzeros.
+	EmptyRowFrac float64 `json:"empty_row_frac"`
+	// DegreeSkew is the top-10% in-degree mass (quality.DegreeSkew), the
+	// paper's Section V-B skew statistic.
+	DegreeSkew float64 `json:"degree_skew"`
+	// RowLenCoV is the coefficient of variation (stddev/mean) of row
+	// lengths; high values indicate power-law row structure.
+	RowLenCoV float64 `json:"row_len_cov"`
+	// BandwidthFrac is the matrix bandwidth divided by the longest
+	// dimension minus 1 (0 for 1x1): how far the farthest nonzero strays
+	// from the diagonal.
+	BandwidthFrac float64 `json:"bandwidth_frac"`
+	// ProfileFrac is the mean |i-j| over stored nonzeros divided by the
+	// longest dimension minus 1: the average diagonal distance, a smoother
+	// locality signal than the max-based BandwidthFrac.
+	ProfileFrac float64 `json:"profile_frac"`
+	// SymmetryEst estimates the fraction of stored nonzeros whose mirror
+	// entry is also stored, probed on a deterministic stride sample of at
+	// most symmetrySampleBudget nonzeros. 1 for an empty matrix.
+	SymmetryEst float64 `json:"symmetry_est"`
+	// InsularityEst is a bounded-work estimate of community insularity: a
+	// deterministic stride sample of at most insularitySampleNodes nodes
+	// induces a subgraph on which one level of Louvain local moving runs;
+	// the estimate is the insularity of that assignment. 1 for an edgeless
+	// sample, by the same convention as community.Insularity.
+	InsularityEst float64 `json:"insularity_est"`
+}
+
+// FeatureNames lists the model-input dimensions in Vector order.
+func FeatureNames() []string {
+	return []string{
+		"log_rows", "log_nnz", "log_avg_degree", "empty_row_frac",
+		"degree_skew", "row_len_cov", "bandwidth_frac", "profile_frac",
+		"symmetry_est", "insularity_est",
+	}
+}
+
+// Vector returns the model-input encoding of the features: the raw fields
+// with the unbounded ones squashed to comparable O(1) scales (logs for
+// counts, a soft cap for the CoV), in FeatureNames order. The encoding is
+// versioned through LinearModel.Version: changing it invalidates trained
+// artifacts.
+func (f Features) Vector() []float64 {
+	return []float64{
+		math.Log2(1+float64(f.Rows)) / 32,
+		math.Log2(1+float64(f.NNZ)) / 40,
+		math.Log2(1+f.AvgDegree) / 12,
+		f.EmptyRowFrac,
+		f.DegreeSkew,
+		math.Min(f.RowLenCoV, 8) / 8,
+		f.BandwidthFrac,
+		f.ProfileFrac,
+		f.SymmetryEst,
+		f.InsularityEst,
+	}
+}
+
+// ExtractFeatures computes the feature vector of a square matrix. It is
+// FeaturesCtx under a background context; the error path is unreachable.
+func ExtractFeatures(m *sparse.CSR) Features {
+	f, _ := FeaturesCtx(context.Background(), m)
+	return f
+}
+
+// FeaturesCtx is the cancellable feature extractor: every O(nnz) pass
+// checks ctx each cancelStride rows and the sampled Louvain estimate runs
+// under ctx, returning ctx.Err() promptly after cancellation. A nil error
+// guarantees features identical to ExtractFeatures' — cancellation
+// checkpoints never influence the computed values.
+func FeaturesCtx(ctx context.Context, m *sparse.CSR) (Features, error) {
+	if err := ctx.Err(); err != nil {
+		return Features{}, err
+	}
+	n := m.NumRows
+	f := Features{Rows: int64(n), NNZ: int64(m.NNZ())}
+	if n == 0 {
+		f.SymmetryEst = 1
+		f.InsularityEst = 1
+		return f, nil
+	}
+	f.Density = float64(f.NNZ) / (float64(n) * float64(n))
+	f.AvgDegree = float64(f.NNZ) / float64(n)
+
+	// One pass over the row structure: empty rows, row-length moments,
+	// bandwidth, and profile.
+	var empty int64
+	var sumSq float64
+	var bw int64
+	var profile float64
+	for r := int32(0); r < n; r++ {
+		if r%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Features{}, err
+			}
+		}
+		l := int64(m.RowLen(r))
+		if l == 0 {
+			empty++
+		}
+		sumSq += float64(l) * float64(l)
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			d := int64(c) - int64(r)
+			if d < 0 {
+				d = -d
+			}
+			if d > bw {
+				bw = d
+			}
+			profile += float64(d)
+		}
+	}
+	f.EmptyRowFrac = float64(empty) / float64(n)
+	if f.AvgDegree > 0 {
+		variance := sumSq/float64(n) - f.AvgDegree*f.AvgDegree
+		if variance < 0 {
+			variance = 0
+		}
+		f.RowLenCoV = math.Sqrt(variance) / f.AvgDegree
+	}
+	dim := n
+	if m.NumCols > dim {
+		dim = m.NumCols
+	}
+	if dim > 1 {
+		f.BandwidthFrac = float64(bw) / float64(dim-1)
+		if f.NNZ > 0 {
+			f.ProfileFrac = profile / float64(f.NNZ) / float64(dim-1)
+		}
+	}
+
+	f.DegreeSkew = quality.DegreeSkew(m)
+
+	var err error
+	if f.SymmetryEst, err = symmetryEstimate(ctx, m); err != nil {
+		return Features{}, err
+	}
+	if f.InsularityEst, err = insularityEstimate(ctx, m); err != nil {
+		return Features{}, err
+	}
+	return f, nil
+}
+
+// symmetryEstimate probes a deterministic stride sample of stored nonzeros
+// for their mirrored entry, using the CSR invariant that rows are strictly
+// sorted for a binary search per probe.
+func symmetryEstimate(ctx context.Context, m *sparse.CSR) (float64, error) {
+	nnz := m.NNZ()
+	if nnz == 0 {
+		return 1, nil
+	}
+	stride := nnz / symmetrySampleBudget
+	if stride < 1 {
+		stride = 1
+	}
+	var probed, mirrored int64
+	// Walk rows, sampling positions k = 0, stride, 2*stride, ... in the
+	// flat nonzero index space.
+	next := 0
+	for r := int32(0); r < m.NumRows; r++ {
+		if r%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		// Row nonzero ranges are contiguous, so next always lands inside
+		// the current row's [lo, hi) once it passes lo.
+		hi := int(m.RowOffsets[r+1])
+		for next < hi {
+			c := m.ColIndices[next]
+			probed++
+			if hasEntry(m, c, r) {
+				mirrored++
+			}
+			next += stride
+		}
+	}
+	if probed == 0 {
+		return 1, nil
+	}
+	return float64(mirrored) / float64(probed), nil
+}
+
+// hasEntry reports whether (r, c) is stored, by binary search over the
+// sorted row. Out-of-range rows (rectangular probes) report false.
+func hasEntry(m *sparse.CSR, r, c int32) bool {
+	if r < 0 || r >= m.NumRows {
+		return false
+	}
+	cols, _ := m.Row(r)
+	i := sort.Search(len(cols), func(i int) bool { return cols[i] >= c })
+	return i < len(cols) && cols[i] == c
+}
+
+// insularityEstimate runs one level of Louvain local moving on a
+// deterministic stride sample of at most insularitySampleNodes nodes and
+// returns the insularity of the induced subgraph under that assignment.
+// The sample is seed-free: node IDs 0, s, 2s, ... for the smallest stride
+// s that fits the budget, so the estimate is a pure function of the
+// matrix.
+func insularityEstimate(ctx context.Context, m *sparse.CSR) (float64, error) {
+	n := m.NumRows
+	stride := int32(1)
+	if n > insularitySampleNodes {
+		stride = (n + insularitySampleNodes - 1) / insularitySampleNodes
+	}
+	// local[v] is the sampled node's index in the subgraph, -1 otherwise.
+	local := make([]int32, n)
+	for i := range local {
+		local[i] = -1
+	}
+	var k int32
+	for v := int32(0); v < n; v += stride {
+		local[v] = k
+		k++
+	}
+	// Build the induced subgraph in CSR form directly: sampled rows are
+	// visited in increasing ID order and columns within a row are sorted,
+	// so the output rows inherit both invariants.
+	sub := &sparse.CSR{NumRows: k, NumCols: k, RowOffsets: make([]int32, k+1)}
+	for v := int32(0); v < n; v += stride {
+		if local[v]%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		cols, _ := m.Row(v)
+		for _, c := range cols {
+			// Guard rectangular inputs (the fuzz target feeds them): only
+			// columns that are also sampled rows join the subgraph.
+			if int(c) < len(local) && local[c] >= 0 {
+				sub.ColIndices = append(sub.ColIndices, local[c])
+				sub.Values = append(sub.Values, 1)
+			}
+		}
+		sub.RowOffsets[local[v]+1] = check.SafeInt32(len(sub.ColIndices))
+	}
+	if len(sub.ColIndices) == 0 {
+		return 1, nil
+	}
+	a, err := community.LouvainCtx(ctx, sub.Symmetrize(), community.LouvainOptions{
+		MaxSweeps: insularitySweeps,
+		MaxLevels: 1,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return community.Insularity(sub, a), nil
+}

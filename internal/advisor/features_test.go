@@ -1,0 +1,181 @@
+package advisor_test
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/gen"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+)
+
+// chain returns an n-node symmetric path graph.
+func chain(n int32) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, int(2*n))
+	for i := int32(0); i+1 < n; i++ {
+		coo.AddSym(i, i+1, 1)
+	}
+	return coo.ToCSR()
+}
+
+func TestFeaturesChainKnownValues(t *testing.T) {
+	m := chain(64)
+	f := advisor.ExtractFeatures(m)
+	if f.Rows != 64 || f.NNZ != int64(m.NNZ()) {
+		t.Fatalf("shape: %+v", f)
+	}
+	if f.EmptyRowFrac != 0 {
+		t.Fatalf("EmptyRowFrac = %v, want 0", f.EmptyRowFrac)
+	}
+	// Every nonzero of a path sits one off the diagonal.
+	if want := 1.0 / 63.0; f.BandwidthFrac != want || f.ProfileFrac != want {
+		t.Fatalf("bandwidth/profile = %v/%v, want %v", f.BandwidthFrac, f.ProfileFrac, want)
+	}
+	// The path is exactly symmetric and small enough to probe fully.
+	if f.SymmetryEst != 1 {
+		t.Fatalf("SymmetryEst = %v, want 1", f.SymmetryEst)
+	}
+	if f.InsularityEst < 0 || f.InsularityEst > 1 {
+		t.Fatalf("InsularityEst = %v out of [0,1]", f.InsularityEst)
+	}
+	if f.AvgDegree != float64(m.NNZ())/64 {
+		t.Fatalf("AvgDegree = %v", f.AvgDegree)
+	}
+}
+
+func TestFeaturesEmptyMatrix(t *testing.T) {
+	f := advisor.ExtractFeatures(&sparse.CSR{RowOffsets: []int32{0}})
+	if f.SymmetryEst != 1 || f.InsularityEst != 1 {
+		t.Fatalf("empty matrix estimates = %v/%v, want 1/1", f.SymmetryEst, f.InsularityEst)
+	}
+	if f.Rows != 0 || f.NNZ != 0 || f.Density != 0 {
+		t.Fatalf("empty matrix features: %+v", f)
+	}
+	// All-empty rows but nonzero dimension.
+	f = advisor.ExtractFeatures(&sparse.CSR{NumRows: 5, NumCols: 5, RowOffsets: make([]int32, 6)})
+	if f.EmptyRowFrac != 1 {
+		t.Fatalf("EmptyRowFrac = %v, want 1", f.EmptyRowFrac)
+	}
+}
+
+func TestFeaturesAsymmetricEstimate(t *testing.T) {
+	// Strictly upper-triangular chain: no stored entry has its mirror.
+	coo := sparse.NewCOO(32, 32, 31)
+	for i := int32(0); i+1 < 32; i++ {
+		coo.Add(i, i+1, 1)
+	}
+	f := advisor.ExtractFeatures(coo.ToCSR())
+	if f.SymmetryEst != 0 {
+		t.Fatalf("SymmetryEst = %v, want 0 for a triangular pattern", f.SymmetryEst)
+	}
+}
+
+// TestFeaturesDeterminism extracts the same matrices repeatedly, serially
+// and from concurrent goroutines: every extraction must be bit-identical.
+func TestFeaturesDeterminism(t *testing.T) {
+	mats := []*sparse.CSR{
+		gen.ErdosRenyi{Nodes: 3000, AvgDegree: 8}.Generate(1),
+		gen.RMAT{LogNodes: 12, AvgDegree: 8, A: 0.57, B: 0.19, C: 0.19}.Generate(2),
+		gen.PlantedPartition{Nodes: 4000, Communities: 16, AvgDegree: 10, Mu: 0.1}.Generate(3),
+	}
+	for _, m := range mats {
+		want := advisor.ExtractFeatures(m)
+		if got := advisor.ExtractFeatures(m); got != want {
+			t.Fatalf("serial re-extraction differs:\n%+v\n%+v", got, want)
+		}
+		var wg sync.WaitGroup
+		results := make([]advisor.Features, 8)
+		for i := range results {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = advisor.ExtractFeatures(m)
+			}(i)
+		}
+		wg.Wait()
+		for i, got := range results {
+			if got != want {
+				t.Fatalf("concurrent extraction %d differs:\n%+v\n%+v", i, got, want)
+			}
+		}
+	}
+}
+
+// TestFeaturesRelabelInvariance is the metamorphic test: symmetric
+// relabeling must not change the ordering-independent features. The
+// matrices are small enough that the symmetry probe covers every nonzero,
+// making SymmetryEst exact (and hence invariant) too. BandwidthFrac,
+// ProfileFrac, and InsularityEst describe the matrix as laid out and are
+// deliberately excluded.
+func TestFeaturesRelabelInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		m := gen.ErdosRenyi{Nodes: 400, AvgDegree: 4}.Generate(seed)
+		if int64(m.NNZ()) > 2048 {
+			t.Fatalf("seed %d: %d nnz exceeds the symmetry probe budget; shrink the generator", seed, m.NNZ())
+		}
+		base := advisor.ExtractFeatures(m)
+		perm := reorder.Random{Seed: seed + 100}.Order(m)
+		rel := advisor.ExtractFeatures(m.PermuteSymmetric(perm))
+		pairs := []struct {
+			name string
+			a, b float64
+		}{
+			{"Density", base.Density, rel.Density},
+			{"AvgDegree", base.AvgDegree, rel.AvgDegree},
+			{"EmptyRowFrac", base.EmptyRowFrac, rel.EmptyRowFrac},
+			{"DegreeSkew", base.DegreeSkew, rel.DegreeSkew},
+			{"RowLenCoV", base.RowLenCoV, rel.RowLenCoV},
+			{"SymmetryEst", base.SymmetryEst, rel.SymmetryEst},
+		}
+		for _, p := range pairs {
+			if math.Abs(p.a-p.b) > 1e-12 {
+				t.Errorf("seed %d: %s changed under relabeling: %v -> %v", seed, p.name, p.a, p.b)
+			}
+		}
+	}
+}
+
+func TestFeaturesCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := advisor.FeaturesCtx(ctx, chain(64)); err != context.Canceled {
+		t.Fatalf("pre-cancelled FeaturesCtx error = %v, want context.Canceled", err)
+	}
+}
+
+func TestFeaturesCtxMatchesExtract(t *testing.T) {
+	m := gen.RMAT{LogNodes: 11, AvgDegree: 6, A: 0.5, B: 0.2, C: 0.2}.Generate(7)
+	f, err := advisor.FeaturesCtx(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != advisor.ExtractFeatures(m) {
+		t.Fatal("FeaturesCtx under background context differs from ExtractFeatures")
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	names := advisor.FeatureNames()
+	m := gen.PlantedPartition{Nodes: 2000, Communities: 8, AvgDegree: 12, Mu: 0.05}.Generate(4)
+	v := advisor.ExtractFeatures(m).Vector()
+	if len(v) != len(names) {
+		t.Fatalf("Vector has %d entries, FeatureNames %d", len(v), len(names))
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 || x > 1+1e-9 {
+			t.Fatalf("vector[%d] (%s) = %v out of [0,1]", i, names[i], x)
+		}
+	}
+}
+
+func BenchmarkFeatures(b *testing.B) {
+	m := gen.RMAT{LogNodes: 14, AvgDegree: 16, A: 0.57, B: 0.19, C: 0.19}.Generate(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		advisor.ExtractFeatures(m)
+	}
+}

@@ -1,0 +1,78 @@
+package advisor_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/sparse"
+)
+
+// fuzzMatrix decodes a byte string into a small CSR: the first two bytes
+// pick the (possibly rectangular) dimensions, the rest is consumed
+// pairwise as entries.
+func fuzzMatrix(data []byte) *sparse.CSR {
+	if len(data) < 2 {
+		return sparse.NewCOO(0, 0, 0).ToCSR()
+	}
+	rows := int32(data[0]%64) + 1
+	cols := int32(data[1]%64) + 1
+	data = data[2:]
+	coo := sparse.NewCOO(rows, cols, len(data)/2)
+	for len(data) >= 2 {
+		coo.Add(int32(data[0])%rows, int32(data[1])%cols, 1)
+		data = data[2:]
+	}
+	return coo.ToCSR()
+}
+
+// FuzzFeatures drives the extractor over arbitrary small matrices,
+// including rectangular ones: it must never panic, every field must be
+// finite with fractions in [0, 1], and extraction must be deterministic.
+func FuzzFeatures(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 4, 0, 1, 1, 0, 2, 3})
+	f.Add([]byte{63, 63, 0, 0, 1, 1, 2, 2, 3, 3})
+	f.Add([]byte{8, 3, 7, 2, 0, 0})
+	f.Add([]byte{1, 63, 0, 62, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		m := fuzzMatrix(data)
+		got := advisor.ExtractFeatures(m)
+		if again := advisor.ExtractFeatures(m); again != got {
+			t.Fatalf("nondeterministic extraction:\n%+v\n%+v", got, again)
+		}
+		fracs := []struct {
+			name string
+			v    float64
+		}{
+			{"EmptyRowFrac", got.EmptyRowFrac},
+			{"DegreeSkew", got.DegreeSkew},
+			{"BandwidthFrac", got.BandwidthFrac},
+			{"ProfileFrac", got.ProfileFrac},
+			{"SymmetryEst", got.SymmetryEst},
+			{"InsularityEst", got.InsularityEst},
+		}
+		for _, fr := range fracs {
+			if math.IsNaN(fr.v) || fr.v < 0 || fr.v > 1+1e-9 {
+				t.Fatalf("%s = %v out of [0,1] for %dx%d nnz=%d", fr.name, fr.v, m.NumRows, m.NumCols, m.NNZ())
+			}
+		}
+		for _, v := range []float64{got.Density, got.AvgDegree, got.RowLenCoV} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("non-finite feature in %+v", got)
+			}
+		}
+		if ctxF, err := advisor.FeaturesCtx(context.Background(), m); err != nil || ctxF != got {
+			t.Fatalf("FeaturesCtx mismatch: %v / %+v vs %+v", err, ctxF, got)
+		}
+		// The model layer must accept whatever the extractor produces.
+		rec := advisor.Advise(m)
+		if rec.Best() == "" || len(rec.Ranked) == 0 {
+			t.Fatalf("empty recommendation for %dx%d", m.NumRows, m.NumCols)
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package advisor
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// LinearModelVersion is the artifact version ParseLinearModel accepts. It
+// changes whenever the Features.Vector encoding changes, invalidating
+// stale trained artifacts instead of silently misreading them.
+const LinearModelVersion = 1
+
+// ridgeLambda is the L2 regularization strength Train applies; it only
+// needs to keep the normal equations well-conditioned, the inputs being
+// pre-squashed to O(1) scales by Features.Vector.
+const ridgeLambda = 1e-6
+
+// LinearModel predicts each candidate technique's SpMV LRU miss rate as an
+// affine function of the feature vector and ranks candidates by ascending
+// prediction. Train fits it from the experiment harness's per-technique
+// miss rates; the committed artifact under testdata/ is the default model.
+type LinearModel struct {
+	// Version is the artifact format version (LinearModelVersion).
+	Version int `json:"version"`
+	// FeatureNames records the Vector dimensions the weights pair with,
+	// as a self-describing check against encoder drift.
+	FeatureNames []string `json:"feature_names"`
+	// Weights maps technique name to [bias, w_1, ..., w_d]: the predicted
+	// miss rate is bias + w·vector.
+	Weights map[string][]float64 `json:"weights"`
+}
+
+// Name implements Model.
+func (*LinearModel) Name() string { return "linear" }
+
+// Predict returns the model's miss-rate prediction for one technique;
+// unknown techniques predict +1 (worse than any real miss rate).
+func (m *LinearModel) Predict(tech string, f Features) float64 {
+	w, ok := m.Weights[tech]
+	if !ok {
+		return 1
+	}
+	v := f.Vector()
+	y := w[0]
+	for i, x := range v {
+		y += w[i+1] * x
+	}
+	return y
+}
+
+// Rank implements Model: candidates ascending by predicted miss rate,
+// ties broken by Candidates order (the order techniques appear in).
+func (m *LinearModel) Rank(f Features) []Scored {
+	ranked := make([]Scored, 0, len(m.Weights))
+	for _, t := range Candidates() {
+		if _, ok := m.Weights[t]; ok {
+			ranked = append(ranked, Scored{Technique: t, Score: m.Predict(t, f)})
+		}
+	}
+	sort.SliceStable(ranked, func(a, b int) bool { return ranked[a].Score < ranked[b].Score })
+	return ranked
+}
+
+// Validate checks the artifact's version and weight shapes.
+func (m *LinearModel) Validate() error {
+	if m.Version != LinearModelVersion {
+		return fmt.Errorf("advisor: model version %d, want %d (retrain with `advisor train`)",
+			m.Version, LinearModelVersion)
+	}
+	want := len(FeatureNames())
+	if len(m.FeatureNames) != want {
+		return fmt.Errorf("advisor: model has %d feature names, encoder has %d", len(m.FeatureNames), want)
+	}
+	for i, n := range FeatureNames() {
+		if m.FeatureNames[i] != n {
+			return fmt.Errorf("advisor: model feature %d is %q, encoder says %q", i, m.FeatureNames[i], n)
+		}
+	}
+	if len(m.Weights) == 0 {
+		return fmt.Errorf("advisor: model has no technique weights")
+	}
+	for t, w := range m.Weights {
+		if len(w) != want+1 {
+			return fmt.Errorf("advisor: technique %q has %d weights, want %d", t, len(w), want+1)
+		}
+	}
+	return nil
+}
+
+// ParseLinearModel decodes and validates a JSON artifact.
+func ParseLinearModel(data []byte) (*LinearModel, error) {
+	var m LinearModel
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("advisor: parsing model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// MarshalIndent renders the artifact in the committed-file form:
+// deterministic key order (encoding/json sorts map keys) and indented for
+// reviewable diffs.
+func (m *LinearModel) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Train fits one ridge least-squares predictor per technique observed in
+// the samples: X is the bias-augmented feature matrix, y the technique's
+// miss rates, and the weights solve (XᵀX + λI)w = Xᵀy. Techniques missing
+// from a sample's MissRates are skipped for that sample, so partially
+// simulated datasets still train.
+func Train(samples []Sample) (*LinearModel, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("advisor: no training samples")
+	}
+	dim := len(FeatureNames()) + 1
+	model := &LinearModel{
+		Version:      LinearModelVersion,
+		FeatureNames: FeatureNames(),
+		Weights:      make(map[string][]float64),
+	}
+	for _, tech := range Candidates() {
+		// Normal equations accumulated sample by sample.
+		xtx := make([][]float64, dim)
+		for i := range xtx {
+			xtx[i] = make([]float64, dim)
+		}
+		xty := make([]float64, dim)
+		seen := 0
+		for _, s := range samples {
+			y, ok := s.MissRates[tech]
+			if !ok {
+				continue
+			}
+			seen++
+			row := append([]float64{1}, s.Features.Vector()...)
+			for i := 0; i < dim; i++ {
+				for j := 0; j < dim; j++ {
+					xtx[i][j] += row[i] * row[j]
+				}
+				xty[i] += row[i] * y
+			}
+		}
+		if seen == 0 {
+			continue
+		}
+		for i := 0; i < dim; i++ {
+			xtx[i][i] += ridgeLambda
+		}
+		w, err := solve(xtx, xty)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: training %s: %w", tech, err)
+		}
+		model.Weights[tech] = w
+	}
+	if len(model.Weights) == 0 {
+		return nil, fmt.Errorf("advisor: samples carry no candidate miss rates")
+	}
+	return model, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the dense
+// symmetric positive-definite system a·x = b, consuming its inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) == 0 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,184 @@
+package advisor
+
+import (
+	"context"
+	_ "embed"
+	"math"
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// Candidates returns the technique names the advisor chooses among, in the
+// tie-break order used everywhere (oracle computation, rule ranking):
+// the two cheap degree passes, plain community ordering, and the two hub
+// treatments the paper evaluates in Table II.
+func Candidates() []string {
+	return []string{"DEGSORT", "DBG", "RABBIT", "RABBIT++", "HUBGROUP"}
+}
+
+// Model ranks candidate techniques for a feature vector.
+type Model interface {
+	// Name identifies the model in reports and responses.
+	Name() string
+	// Rank returns every candidate best-first with its score. Lower
+	// scores are better; for LinearModel the score is the predicted SpMV
+	// LRU miss rate, for RuleModel it is the rule's preference rank.
+	Rank(f Features) []Scored
+}
+
+// Scored is one ranked candidate.
+type Scored struct {
+	// Technique is the candidate's reorder.Technique display name.
+	Technique string `json:"technique"`
+	// Score is the model's value for the candidate; lower is better.
+	Score float64 `json:"score"`
+}
+
+// Recommendation is the advisor's full answer for one matrix.
+type Recommendation struct {
+	// Model names the model that produced the ranking.
+	Model string `json:"model"`
+	// Features is the extracted feature vector the ranking was based on.
+	Features Features `json:"features"`
+	// Ranked lists every candidate best-first.
+	Ranked []Scored `json:"ranked"`
+	// Confidence is the normalized margin between the top two candidates
+	// in [0, 1]: 0 means a coin flip, larger means the model clearly
+	// separates the winner.
+	Confidence float64 `json:"confidence"`
+}
+
+// Best returns the top-ranked technique name.
+func (r Recommendation) Best() string { return r.Ranked[0].Technique }
+
+// Advise extracts features and ranks the candidates with the default
+// model (the committed LinearModel artifact).
+func Advise(m *sparse.CSR) Recommendation {
+	rec, _ := AdviseCtx(context.Background(), DefaultModel(), m)
+	return rec
+}
+
+// AdviseCtx is Advise with an explicit model and cooperative cancellation
+// of the feature extraction.
+func AdviseCtx(ctx context.Context, model Model, m *sparse.CSR) (Recommendation, error) {
+	f, err := FeaturesCtx(ctx, m)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return Recommend(model, f), nil
+}
+
+// Recommend ranks the candidates for an already-extracted feature vector.
+func Recommend(model Model, f Features) Recommendation {
+	ranked := model.Rank(f)
+	return Recommendation{
+		Model:      model.Name(),
+		Features:   f,
+		Ranked:     ranked,
+		Confidence: confidence(ranked),
+	}
+}
+
+// confidence maps the top-two score margin to [0, 1]. Scores are
+// model-specific, so the margin is normalized by the ranking's score
+// spread; a single-candidate ranking is fully confident.
+func confidence(ranked []Scored) float64 {
+	if len(ranked) < 2 {
+		return 1
+	}
+	spread := ranked[len(ranked)-1].Score - ranked[0].Score
+	if spread <= 0 {
+		return 0
+	}
+	return math.Min(1, (ranked[1].Score-ranked[0].Score)/spread*float64(len(ranked)-1))
+}
+
+// RuleModel encodes the paper's published selection thresholds: high
+// degree skew defeats plain community ordering, so hub-aware variants
+// (RABBIT++, HUBGROUP) lead; high estimated insularity means RABBIT
+// reaches near-ideal run time (Figure 3); when neither holds, community
+// structure is weak and the cheap degree passes (DBG, DEGSORT) are the
+// safe fallback. The zero value uses the paper's thresholds.
+type RuleModel struct {
+	// SkewThreshold splits skewed from unskewed matrices; 0 means the
+	// default 0.5 (Section V-B's skew statistic on power-law matrices).
+	SkewThreshold float64
+	// InsularityThreshold splits the Figure 3 classes; 0 means the
+	// paper's 0.95.
+	InsularityThreshold float64
+}
+
+// Name implements Model.
+func (RuleModel) Name() string { return "rule" }
+
+// Rank implements Model: the preference order selected by the thresholds,
+// with the rule's position as the score (0 = best).
+func (r RuleModel) Rank(f Features) []Scored {
+	skewT, insT := r.SkewThreshold, r.InsularityThreshold
+	if skewT == 0 {
+		skewT = 0.5
+	}
+	if insT == 0 {
+		insT = 0.95
+	}
+	var order []string
+	switch {
+	case f.DegreeSkew >= skewT:
+		order = []string{"RABBIT++", "HUBGROUP", "RABBIT", "DBG", "DEGSORT"}
+	case f.InsularityEst >= insT:
+		order = []string{"RABBIT", "RABBIT++", "HUBGROUP", "DBG", "DEGSORT"}
+	default:
+		order = []string{"DBG", "DEGSORT", "RABBIT++", "RABBIT", "HUBGROUP"}
+	}
+	ranked := make([]Scored, len(order))
+	for i, t := range order {
+		ranked[i] = Scored{Technique: t, Score: float64(i)}
+	}
+	return ranked
+}
+
+// FixedModel always recommends one technique; the evaluation harness uses
+// it as the always-RABBIT baseline the trained model must beat.
+type FixedModel struct {
+	// Technique is the candidate this model always puts first.
+	Technique string
+}
+
+// Name implements Model.
+func (m FixedModel) Name() string { return "fixed:" + m.Technique }
+
+// Rank implements Model: the fixed pick first, remaining candidates in
+// Candidates order.
+func (m FixedModel) Rank(Features) []Scored {
+	ranked := []Scored{{Technique: m.Technique, Score: 0}}
+	for _, t := range Candidates() {
+		if t != m.Technique {
+			ranked = append(ranked, Scored{Technique: t, Score: 1})
+		}
+	}
+	return ranked
+}
+
+//go:embed testdata/linear_model.json
+var embeddedModel []byte
+
+var (
+	defaultOnce  sync.Once
+	defaultModel Model
+)
+
+// DefaultModel returns the committed LinearModel artifact
+// (testdata/linear_model.json, trained by `advisor train`), falling back
+// to the RuleModel if the artifact ever fails to parse.
+func DefaultModel() Model {
+	defaultOnce.Do(func() {
+		lm, err := ParseLinearModel(embeddedModel)
+		if err != nil {
+			defaultModel = RuleModel{}
+			return
+		}
+		defaultModel = lm
+	})
+	return defaultModel
+}

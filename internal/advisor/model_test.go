@@ -1,0 +1,234 @@
+package advisor_test
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/advisor"
+)
+
+func TestRuleModelBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		f    advisor.Features
+		want string
+	}{
+		{"skewed", advisor.Features{DegreeSkew: 0.8, InsularityEst: 0.99}, "RABBIT++"},
+		{"insular", advisor.Features{DegreeSkew: 0.2, InsularityEst: 0.99}, "RABBIT"},
+		{"neither", advisor.Features{DegreeSkew: 0.2, InsularityEst: 0.5}, "DBG"},
+	}
+	for _, tc := range cases {
+		rec := advisor.Recommend(advisor.RuleModel{}, tc.f)
+		if rec.Best() != tc.want {
+			t.Errorf("%s: best = %s, want %s", tc.name, rec.Best(), tc.want)
+		}
+		if len(rec.Ranked) != len(advisor.Candidates()) {
+			t.Errorf("%s: ranked %d of %d candidates", tc.name, len(rec.Ranked), len(advisor.Candidates()))
+		}
+		if rec.Confidence < 0 || rec.Confidence > 1 {
+			t.Errorf("%s: confidence %v out of [0,1]", tc.name, rec.Confidence)
+		}
+	}
+	// Custom thresholds move the branch points.
+	m := advisor.RuleModel{SkewThreshold: 0.9, InsularityThreshold: 0.5}
+	if best := m.Rank(advisor.Features{DegreeSkew: 0.8, InsularityEst: 0.6})[0].Technique; best != "RABBIT" {
+		t.Fatalf("custom thresholds: best = %s, want RABBIT", best)
+	}
+}
+
+func TestFixedModel(t *testing.T) {
+	m := advisor.FixedModel{Technique: "RABBIT"}
+	ranked := m.Rank(advisor.Features{})
+	if ranked[0].Technique != "RABBIT" {
+		t.Fatalf("fixed model best = %s", ranked[0].Technique)
+	}
+	if m.Name() != "fixed:RABBIT" {
+		t.Fatalf("fixed model name = %s", m.Name())
+	}
+}
+
+func TestDefaultModelIsTrainedArtifact(t *testing.T) {
+	m := advisor.DefaultModel()
+	if m.Name() != "linear" {
+		t.Fatalf("default model is %q; the committed artifact failed to parse", m.Name())
+	}
+	ranked := m.Rank(advisor.Features{Rows: 1000, NNZ: 10000, AvgDegree: 10})
+	if len(ranked) != len(advisor.Candidates()) {
+		t.Fatalf("default model ranks %d of %d candidates", len(ranked), len(advisor.Candidates()))
+	}
+}
+
+// synthSamples builds samples whose miss rates are exact linear functions
+// of the feature vector, so ridge training must recover them.
+func synthSamples(n int) []advisor.Sample {
+	samples := make([]advisor.Sample, n)
+	for i := range samples {
+		f := advisor.Features{
+			Rows:          int64(1000 + 37*i),
+			NNZ:           int64(10000 + 997*i),
+			AvgDegree:     4 + float64(i%7),
+			EmptyRowFrac:  float64(i%5) / 10,
+			DegreeSkew:    float64(i%11) / 11,
+			RowLenCoV:     float64(i%13) / 3,
+			BandwidthFrac: float64(i%17) / 17,
+			ProfileFrac:   float64(i%19) / 38,
+			SymmetryEst:   float64(i%3) / 2,
+			InsularityEst: float64(i%23) / 23,
+		}
+		v := f.Vector()
+		rates := make(map[string]float64)
+		for ti, tech := range advisor.Candidates() {
+			y := 0.1 * float64(ti+1)
+			for vi, x := range v {
+				y += float64(ti-2) * 0.01 * float64(vi+1) * x
+			}
+			rates[tech] = y
+		}
+		samples[i] = advisor.Sample{Matrix: "synth", Features: f, MissRates: rates}
+	}
+	return samples
+}
+
+func TestTrainRecoversLinearTargets(t *testing.T) {
+	samples := synthSamples(200)
+	model, err := advisor.Train(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples[:20] {
+		for _, tech := range advisor.Candidates() {
+			got := model.Predict(tech, s.Features)
+			if want := s.MissRates[tech]; math.Abs(got-want) > 1e-4 {
+				t.Fatalf("%s: predicted %v, want %v", tech, got, want)
+			}
+		}
+	}
+	// Perfect predictions mean a perfect oracle match.
+	rep := advisor.Evaluate(model, samples)
+	if rep.Top1Accuracy != 1 || rep.MeanRegret > 1e-9 {
+		t.Fatalf("evaluation on recoverable data: %s", rep.Summary())
+	}
+}
+
+func TestLinearModelRoundTrip(t *testing.T) {
+	model, err := advisor.Train(synthSamples(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := model.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := advisor.ParseLinearModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(model, back) {
+		t.Fatal("marshal/parse round trip changed the model")
+	}
+}
+
+func TestParseLinearModelRejectsBadArtifacts(t *testing.T) {
+	good, err := os.ReadFile(filepath.Join("testdata", "linear_model.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		[]byte("{"),
+		[]byte(`{"version": 99}`),
+		bytes.Replace(good, []byte(`"log_rows"`), []byte(`"log_rowz"`), 1),
+		[]byte(`{"version": 1, "feature_names": [], "weights": {}}`),
+		[]byte(`{"version": 1, "feature_names": ["log_rows","log_nnz","log_avg_degree","empty_row_frac","degree_skew","row_len_cov","bandwidth_frac","profile_frac","symmetry_est","insularity_est"], "weights": {"RABBIT": [1, 2]}}`),
+	}
+	for i, b := range bad {
+		if _, err := advisor.ParseLinearModel(b); err == nil {
+			t.Errorf("bad artifact %d parsed without error", i)
+		}
+	}
+	if _, err := advisor.ParseLinearModel(good); err != nil {
+		t.Errorf("committed artifact rejected: %v", err)
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, err := advisor.Train(nil); err == nil {
+		t.Fatal("Train(nil) succeeded")
+	}
+	noRates := []advisor.Sample{{Matrix: "x", MissRates: map[string]float64{"NOPE": 1}}}
+	if _, err := advisor.Train(noRates); err == nil {
+		t.Fatal("Train with no candidate rates succeeded")
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	samples := synthSamples(10)
+	// Exercise the absent-rate path too.
+	delete(samples[3].MissRates, "RABBIT")
+	var buf bytes.Buffer
+	if err := advisor.WriteDataset(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := advisor.ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(samples, back) {
+		t.Fatalf("dataset round trip changed the samples:\n%+v\n%+v", samples[:2], back[:2])
+	}
+}
+
+func TestEvaluateRegretAndTies(t *testing.T) {
+	f := advisor.Features{DegreeSkew: 0.9}
+	samples := []advisor.Sample{
+		// RuleModel picks RABBIT++ under high skew: regret 0 here...
+		{Matrix: "a", Features: f, MissRates: map[string]float64{"RABBIT++": 0.1, "DBG": 0.3}},
+		// ...and 0.2 here, where DBG is the oracle.
+		{Matrix: "b", Features: f, MissRates: map[string]float64{"RABBIT++": 0.3, "DBG": 0.1}},
+		// No candidate rates: skipped entirely.
+		{Matrix: "c", Features: f, MissRates: nil},
+	}
+	rep := advisor.Evaluate(advisor.RuleModel{}, samples)
+	if rep.Samples != 2 {
+		t.Fatalf("evaluated %d samples, want 2", rep.Samples)
+	}
+	if rep.Top1Accuracy != 0.5 {
+		t.Fatalf("top1 = %v, want 0.5", rep.Top1Accuracy)
+	}
+	if math.Abs(rep.MeanRegret-0.1) > 1e-12 || math.Abs(rep.MaxRegret-0.2) > 1e-12 {
+		t.Fatalf("regret mean/max = %v/%v, want 0.1/0.2", rep.MeanRegret, rep.MaxRegret)
+	}
+	if n := len(rep.Mistakes()); n != 1 {
+		t.Fatalf("mistakes = %d, want 1", n)
+	}
+}
+
+// TestCommittedModelBeatsAlwaysRabbit pins the acceptance bar: on the
+// committed small-corpus dataset, the trained artifact's mean regret must
+// strictly beat the always-RABBIT baseline.
+func TestCommittedModelBeatsAlwaysRabbit(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "dataset_small.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	samples, err := advisor.ReadDataset(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 40 {
+		t.Fatalf("committed dataset has only %d samples", len(samples))
+	}
+	linear := advisor.Evaluate(advisor.DefaultModel(), samples)
+	rabbit := advisor.Evaluate(advisor.FixedModel{Technique: "RABBIT"}, samples)
+	if linear.MeanRegret >= rabbit.MeanRegret {
+		t.Fatalf("trained model regret %v does not beat always-RABBIT %v (retrain the artifact)",
+			linear.MeanRegret, rabbit.MeanRegret)
+	}
+	if linear.Top1Accuracy <= 0 {
+		t.Fatalf("trained model never matches the oracle: %s", linear.Summary())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/community"
+	"repro/internal/quality"
 	"repro/internal/sparse"
 )
 
@@ -39,7 +40,7 @@ func Analyze(m *sparse.CSR, a community.Assignment) CommunityStats {
 		InsularNodeFraction:      community.InsularFraction(m, a),
 		AvgCommunitySizeNorm:     a.AverageSize() / float64(m.NumRows),
 		LargestCommunityFraction: a.LargestFraction(),
-		Skew:                     m.DegreeSkew(0.10),
+		Skew:                     quality.DegreeSkew(m),
 		Communities:              a.Count,
 	}
 }

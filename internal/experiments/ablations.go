@@ -265,7 +265,7 @@ func CorpusTable(r *Runner) (*report.Table, error) {
 		return []string{md.Entry.Name, md.Entry.Family, md.Entry.Source,
 			fmt.Sprintf("%d", md.N), fmt.Sprintf("%d", md.NNZ),
 			fmt.Sprintf("%.1f", md.M.AverageDegree()),
-			report.Pct(md.M.DegreeSkew(0.10)),
+			report.Pct(quality.DegreeSkew(md.M)),
 			report.Pct(float64(md.M.EmptyRows()) / float64(md.N)),
 			report.F(md.Stats().Insularity)}, nil
 	})
@@ -315,6 +315,7 @@ func Ablations() []Experiment {
 		{ID: "abl-resolution", Paper: "Ablation: RABBIT resolution parameter", Run: AblResolution},
 		{ID: "abl-policy", Paper: "Ablation: replacement policy", Run: AblPolicy},
 		{ID: "abl-pushpull", Paper: "Ablation: push vs pull SpMV", Run: AblPushPull},
+		{ID: "advisor", Paper: "Advisor: feature-based technique selection", Run: AdvisorEval},
 	}
 }
 

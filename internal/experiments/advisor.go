@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/advisor"
+	"repro/internal/reorder"
+	"repro/internal/report"
+)
+
+// AdvisorTechniques resolves the advisor's candidate set to concrete
+// reorder techniques, in advisor.Candidates order.
+func AdvisorTechniques() ([]reorder.Technique, error) {
+	names := advisor.Candidates()
+	techs := make([]reorder.Technique, len(names))
+	for i, n := range names {
+		t, err := reorder.ByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: advisor candidate: %w", err)
+		}
+		techs[i] = t
+	}
+	return techs, nil
+}
+
+// AdvisorSamples builds the advisor dataset over the runner's corpus
+// subset: each matrix's features paired with the measured SpMV LRU miss
+// rate of every candidate technique. The simulations are prefetched
+// through the scheduler, so the sweep shares cached work with any other
+// figure on the same runner.
+func AdvisorSamples(r *Runner) ([]advisor.Sample, error) {
+	techs, err := AdvisorTechniques()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Prefetch(SimUnits(r.Entries(), techs, SpMV)); err != nil {
+		return nil, err
+	}
+	return forEntries(r, func(md *MatrixData) (advisor.Sample, error) {
+		s := advisor.Sample{
+			Matrix:    md.Entry.Name,
+			Features:  advisor.ExtractFeatures(md.M),
+			MissRates: make(map[string]float64, len(techs)),
+		}
+		for _, t := range techs {
+			stats := r.SimLRU(md, t, SpMV)
+			if stats.Accesses > 0 {
+				s.MissRates[t.Name()] = float64(stats.Misses) / float64(stats.Accesses)
+			}
+		}
+		return s, nil
+	})
+}
+
+// AdvisorEval is the "advisor" experiment: it scores the default model
+// (the committed LinearModel artifact) against the measured per-technique
+// miss rates, with one row per matrix (oracle vs predicted technique and
+// the miss-rate regret) followed by summary rows for the default model,
+// the rule model, and every always-X baseline. The golden render pins the
+// committed artifact's behaviour on the test subset.
+func AdvisorEval(r *Runner) (*report.Table, error) {
+	samples, err := AdvisorSamples(r)
+	if err != nil {
+		return nil, err
+	}
+	model := advisor.DefaultModel()
+	rep := advisor.Evaluate(model, samples)
+	tb := report.New("Advisor: technique selection vs measured-best oracle",
+		"matrix", "oracle", "predicted", "oracle_miss", "predicted_miss", "regret", "correct")
+	for _, row := range rep.PerMatrix {
+		tb.Add(row.Matrix, row.Oracle, row.Predicted,
+			report.F(row.OracleRate), report.F(row.PredictedRate),
+			report.F(row.Regret), fmt.Sprintf("%v", row.Correct))
+	}
+	for _, br := range advisor.CompareBaselines(model, samples) {
+		tb.Add("SUMMARY:"+br.Model, "", "",
+			"", "", report.F(br.MeanRegret),
+			fmt.Sprintf("top1=%.3f", br.Top1Accuracy))
+	}
+	tb.Note("oracle = measured-best candidate per matrix; regret = predicted miss rate - oracle miss rate")
+	return tb, nil
+}

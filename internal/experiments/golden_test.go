@@ -13,12 +13,13 @@ import (
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
 
 // goldenExperiments are the suite members pinned by committed golden
-// renders: the headline traffic figure, the design-space table, and the
-// observation statistics. Together they cover every SimLRU path, the
-// class-mean aggregation, and the argmax-style reductions — if the
-// scheduler ever reordered an aggregation or dropped a unit, at least one
-// of these drifts.
-var goldenExperiments = []string{"fig2", "table2", "obs"}
+// renders: the headline traffic figure, the design-space table, the
+// observation statistics, and the advisor evaluation. Together they cover
+// every SimLRU path, the class-mean aggregation, the argmax-style
+// reductions, and the committed advisor model's behaviour — if the
+// scheduler ever reordered an aggregation, dropped a unit, or the advisor
+// artifact drifted from its features, at least one of these drifts.
+var goldenExperiments = []string{"fig2", "table2", "obs", "advisor"}
 
 // TestGolden regenerates each pinned experiment on the Small-corpus test
 // subset at Workers=1 (the historical serial behaviour) and at

@@ -3,6 +3,8 @@ package gen
 import (
 	"testing"
 	"testing/quick"
+
+	"repro/internal/quality"
 )
 
 func TestRNGDeterminism(t *testing.T) {
@@ -157,7 +159,7 @@ func TestHubStarIsHubDominated(t *testing.T) {
 	m := HubStar{Nodes: 4000, Hubs: 3, HubConn: 0.3, Background: 500}.Generate(4)
 	// Symmetric storage mirrors each hub edge into a random row, so the hub
 	// rows themselves hold about half of all nonzeros.
-	if skew := m.DegreeSkew(0.01); skew < 0.40 {
+	if skew := quality.DegreeSkewFrac(m, 0.01); skew < 0.40 {
 		t.Fatalf("top 1%% of rows hold only %.2f of nonzeros; hub-star must be hub dominated", skew)
 	}
 }
@@ -165,9 +167,9 @@ func TestHubStarIsHubDominated(t *testing.T) {
 func TestRMATSkewGrowsWithA(t *testing.T) {
 	lo := RMAT{LogNodes: 13, AvgDegree: 8, A: 0.30, B: 0.25, C: 0.25, Symmetric: true}.Generate(5)
 	hi := RMAT{LogNodes: 13, AvgDegree: 8, A: 0.60, B: 0.17, C: 0.17, Symmetric: true}.Generate(5)
-	if lo.DegreeSkew(0.10) >= hi.DegreeSkew(0.10) {
+	if quality.DegreeSkew(lo) >= quality.DegreeSkew(hi) {
 		t.Fatalf("skew(lo-A)=%.3f >= skew(hi-A)=%.3f; R-MAT skew should grow with A",
-			lo.DegreeSkew(0.10), hi.DegreeSkew(0.10))
+			quality.DegreeSkew(lo), quality.DegreeSkew(hi))
 	}
 }
 

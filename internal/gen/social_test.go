@@ -2,6 +2,8 @@ package gen
 
 import (
 	"testing"
+
+	"repro/internal/quality"
 )
 
 func TestBarabasiAlbertProperties(t *testing.T) {
@@ -14,7 +16,7 @@ func TestBarabasiAlbertProperties(t *testing.T) {
 	}
 	// Preferential attachment yields strong degree skew: top 10% of rows
 	// hold far more than 10% of nonzeros.
-	if skew := m.DegreeSkew(0.10); skew < 0.25 {
+	if skew := quality.DegreeSkew(m); skew < 0.25 {
 		t.Fatalf("BA skew = %.3f, want heavy tail", skew)
 	}
 	// Average degree ~2M.

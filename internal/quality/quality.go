@@ -10,9 +10,54 @@ package quality
 import (
 	"math"
 	"math/bits"
+	"sort"
 
 	"repro/internal/sparse"
 )
+
+// SkewTopFraction is the paper's skew cut: "the percentage of non-zeros
+// connected to the top 10% most connected rows" (Section V-B).
+const SkewTopFraction = 0.10
+
+// DegreeSkew returns the fraction of nonzeros belonging to the top 10%
+// most connected rows by in-degree (matching the paper's use of in-degrees
+// for push-style kernels). High skew indicates strong power-law behaviour
+// and predicts that plain community ordering struggles (Section V-B), the
+// motivation for RABBIT++'s hub grouping. This is the one shared
+// implementation used by the community-stats analysis, the advisor's
+// feature extractor, and the CLI/report surfaces.
+func DegreeSkew(m *sparse.CSR) float64 {
+	return TopFracMass(m.InDegrees(), int64(m.NNZ()), SkewTopFraction)
+}
+
+// DegreeSkewFrac generalizes DegreeSkew to an arbitrary top fraction; the
+// tests use it to check corner cases away from the paper's 0.10 cut.
+func DegreeSkewFrac(m *sparse.CSR, frac float64) float64 {
+	return TopFracMass(m.InDegrees(), int64(m.NNZ()), frac)
+}
+
+// TopFracMass returns the share of `total` mass owned by the top `frac`
+// fraction of entries in deg (at least one entry is always counted). It is
+// the kernel of the degree-skew metric, split out so callers with a
+// precomputed degree array (e.g. hub detection working from in-degrees)
+// avoid recomputing it.
+func TopFracMass(deg []int32, total int64, frac float64) float64 {
+	if total == 0 || len(deg) == 0 {
+		return 0
+	}
+	sorted := make([]int32, len(deg))
+	copy(sorted, deg)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
+	k := int(float64(len(sorted)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	var top int64
+	for _, d := range sorted[:k] {
+		top += int64(d)
+	}
+	return float64(top) / float64(total)
+}
 
 // AverageEdgeDistance returns the mean |p(u) − p(v)| over stored nonzeros
 // under the given ordering. Smaller distances mean irregular accesses land

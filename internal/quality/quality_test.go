@@ -1,9 +1,12 @@
-package quality
+package quality_test
 
 import (
 	"testing"
 
+	"math"
+
 	"repro/internal/gen"
+	"repro/internal/quality"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 )
@@ -19,7 +22,7 @@ func chain(n int32) *sparse.CSR {
 func TestAverageEdgeDistanceChain(t *testing.T) {
 	m := chain(100)
 	id := sparse.Identity(100)
-	if got := AverageEdgeDistance(m, id); got != 1 {
+	if got := quality.AverageEdgeDistance(m, id); got != 1 {
 		t.Fatalf("chain identity distance = %v, want 1", got)
 	}
 	// Reversal preserves adjacency distances exactly.
@@ -27,19 +30,19 @@ func TestAverageEdgeDistanceChain(t *testing.T) {
 	for i := range rev {
 		rev[i] = int32(99 - i)
 	}
-	if got := AverageEdgeDistance(m, rev); got != 1 {
+	if got := quality.AverageEdgeDistance(m, rev); got != 1 {
 		t.Fatalf("chain reversed distance = %v, want 1", got)
 	}
 	// A random order scatters edges widely.
 	rnd := reorder.Random{Seed: 1}.Order(m)
-	if got := AverageEdgeDistance(m, rnd); got < 10 {
+	if got := quality.AverageEdgeDistance(m, rnd); got < 10 {
 		t.Fatalf("chain random distance = %v, want large", got)
 	}
 }
 
 func TestGapProfileAndMean(t *testing.T) {
 	m := chain(64)
-	prof := GapProfile(m, sparse.Identity(64))
+	prof := quality.GapProfile(m, sparse.Identity(64))
 	// All gaps are exactly 1 -> bucket Len64(1)=1.
 	var total int64
 	for b, c := range prof {
@@ -51,10 +54,10 @@ func TestGapProfileAndMean(t *testing.T) {
 	if total != int64(m.NNZ()) {
 		t.Fatalf("profile covers %d of %d nonzeros", total, m.NNZ())
 	}
-	if got := MeanLog2Gap(prof); got != 1 {
+	if got := quality.MeanLog2Gap(prof); got != 1 {
 		t.Fatalf("MeanLog2Gap = %v, want 1", got)
 	}
-	if MeanLog2Gap(make([]int64, 34)) != 0 {
+	if quality.MeanLog2Gap(make([]int64, 34)) != 0 {
 		t.Fatal("empty profile mean should be 0")
 	}
 }
@@ -68,10 +71,10 @@ func TestLinePackingPerfectAndScattered(t *testing.T) {
 		coo.Add(33, c, 1)
 	}
 	m := coo.ToCSR()
-	if got := LinePacking(m, sparse.Identity(64), 128); got != 1 {
+	if got := quality.LinePacking(m, sparse.Identity(64), 128); got != 1 {
 		t.Fatalf("contiguous star packing at 128B = %v, want 1", got)
 	}
-	if got := LinePacking(m, sparse.Identity(64), 32); got != 1 {
+	if got := quality.LinePacking(m, sparse.Identity(64), 32); got != 1 {
 		t.Fatalf("contiguous star packing at 32B = %v, want 1", got)
 	}
 	// Stride the 32 referenced columns to every other slot: they then span
@@ -86,11 +89,11 @@ func TestLinePackingPerfectAndScattered(t *testing.T) {
 	if err := spread.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got := LinePacking(m, spread, 32); got != 0.5 {
+	if got := quality.LinePacking(m, spread, 32); got != 0.5 {
 		t.Fatalf("strided packing at 32B = %v, want 0.5", got)
 	}
 	rnd := reorder.Random{Seed: 3}.Order(m)
-	if got := LinePacking(m, rnd, 32); got >= 1 {
+	if got := quality.LinePacking(m, rnd, 32); got >= 1 {
 		t.Fatalf("scattered packing = %v, want < 1", got)
 	}
 }
@@ -99,8 +102,8 @@ func TestWindowedWorkingSetCommunityVsRandom(t *testing.T) {
 	m := gen.PlantedPartition{Nodes: 2048, Communities: 32, AvgDegree: 10, Mu: 0.05}.Generate(1)
 	rabbit := reorder.Rabbit{}.Order(m)
 	random := reorder.Random{Seed: 2}.Order(m)
-	wr := WindowedWorkingSet(m, rabbit, 64)
-	wrnd := WindowedWorkingSet(m, random, 64)
+	wr := quality.WindowedWorkingSet(m, rabbit, 64)
+	wrnd := quality.WindowedWorkingSet(m, random, 64)
 	if wr*2 > wrnd {
 		t.Fatalf("rabbit working set %v vs random %v; community ordering must shrink the window footprint", wr, wrnd)
 	}
@@ -108,7 +111,7 @@ func TestWindowedWorkingSetCommunityVsRandom(t *testing.T) {
 
 func TestMeasureSummary(t *testing.T) {
 	m := gen.Mesh2D{Width: 30, Height: 30}.Generate(2)
-	s := Measure(m, sparse.Identity(m.NumRows), 128, 32)
+	s := quality.Measure(m, sparse.Identity(m.NumRows), 128, 32)
 	if s.AvgEdgeDistance <= 0 || s.LinePacking <= 0 || s.WorkingSet <= 0 {
 		t.Fatalf("summary has non-positive fields: %+v", s)
 	}
@@ -126,10 +129,10 @@ func TestMeasureSummary(t *testing.T) {
 func TestEmptyMatrixMetrics(t *testing.T) {
 	m := &sparse.CSR{NumRows: 4, NumCols: 4, RowOffsets: make([]int32, 5)}
 	id := sparse.Identity(4)
-	if AverageEdgeDistance(m, id) != 0 {
+	if quality.AverageEdgeDistance(m, id) != 0 {
 		t.Fatal("empty distance != 0")
 	}
-	if LinePacking(m, id, 128) != 1 {
+	if quality.LinePacking(m, id, 128) != 1 {
 		t.Fatal("empty packing != 1")
 	}
 }
@@ -138,10 +141,10 @@ func TestQuickPackingAndGapBounds(t *testing.T) {
 	for seed := uint64(0); seed < 8; seed++ {
 		m := gen.ErdosRenyi{Nodes: 300, AvgDegree: 5}.Generate(seed)
 		p := reorder.Random{Seed: seed}.Order(m)
-		if pk := LinePacking(m, p, 128); pk <= 0 || pk > 1+1e-9 {
+		if pk := quality.LinePacking(m, p, 128); pk <= 0 || pk > 1+1e-9 {
 			t.Fatalf("seed %d: LinePacking = %v out of (0,1]", seed, pk)
 		}
-		prof := GapProfile(m, p)
+		prof := quality.GapProfile(m, p)
 		var total int64
 		for _, c := range prof {
 			total += c
@@ -149,7 +152,7 @@ func TestQuickPackingAndGapBounds(t *testing.T) {
 		if total != int64(m.NNZ()) {
 			t.Fatalf("seed %d: gap profile covers %d of %d nonzeros", seed, total, m.NNZ())
 		}
-		if g := MeanLog2Gap(prof); g < 0 || g > 34 {
+		if g := quality.MeanLog2Gap(prof); g < 0 || g > 34 {
 			t.Fatalf("seed %d: MeanLog2Gap = %v", seed, g)
 		}
 	}
@@ -158,17 +161,75 @@ func TestQuickPackingAndGapBounds(t *testing.T) {
 func TestWorkingSetBounds(t *testing.T) {
 	m := gen.PlantedPartition{Nodes: 500, Communities: 5, AvgDegree: 6, Mu: 0.2}.Generate(9)
 	id := sparse.Identity(m.NumRows)
-	ws := WindowedWorkingSet(m, id, 50)
+	ws := quality.WindowedWorkingSet(m, id, 50)
 	if ws <= 0 || ws > float64(m.NumRows) {
 		t.Fatalf("working set %v out of (0, N]", ws)
 	}
 	// Window of the whole matrix = total distinct referenced columns.
-	whole := WindowedWorkingSet(m, id, m.NumRows)
+	whole := quality.WindowedWorkingSet(m, id, m.NumRows)
 	distinct := map[int32]bool{}
 	for _, c := range m.ColIndices {
 		distinct[c] = true
 	}
 	if whole != float64(len(distinct)) {
 		t.Fatalf("whole-matrix working set %v != distinct columns %d", whole, len(distinct))
+	}
+}
+
+// star returns an n-node star: every node connects to node 0 (both ways),
+// giving node 0 an in-degree of n-1.
+func star(n int32) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, int(2*n))
+	for i := int32(1); i < n; i++ {
+		coo.AddSym(0, i, 1)
+	}
+	return coo.ToCSR()
+}
+
+func TestDegreeSkewStar(t *testing.T) {
+	m := star(20)
+	// Top 10% of 20 nodes = 2 nodes: the hub (in-degree 19) plus one leaf
+	// (in-degree 1) own 20 of the 38 nonzeros.
+	want := 20.0 / 38.0
+	if got := quality.DegreeSkew(m); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("quality.DegreeSkew(star) = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeSkewFracColumnHeavy(t *testing.T) {
+	// 4x4 with column 0 holding 4 of 6 nonzeros: the top 25% (1 column)
+	// owns 4/6.
+	coo := sparse.NewCOO(4, 4, 8)
+	for i := int32(0); i < 4; i++ {
+		coo.Add(i, 0, 1)
+	}
+	coo.Add(0, 1, 1)
+	coo.Add(1, 2, 1)
+	m := coo.ToCSR()
+	if skew := quality.DegreeSkewFrac(m, 0.25); skew < 0.66 || skew > 0.67 {
+		t.Fatalf("quality.DegreeSkewFrac(0.25) = %v, want 4/6", skew)
+	}
+}
+
+func TestDegreeSkewBoundsAndEmpty(t *testing.T) {
+	if s := quality.DegreeSkew(&sparse.CSR{RowOffsets: []int32{0}}); s != 0 {
+		t.Fatalf("quality.DegreeSkew(empty) = %v, want 0", s)
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		m := gen.RMAT{LogNodes: 7, AvgDegree: 5, A: 0.5, B: 0.2, C: 0.2}.Generate(seed)
+		s := quality.DegreeSkew(m)
+		if s < 0 || s > 1 {
+			t.Fatalf("seed %d: DegreeSkew = %v out of [0,1]", seed, s)
+		}
+	}
+}
+
+func TestTopFracMassDegenerate(t *testing.T) {
+	if v := quality.TopFracMass(nil, 0, 0.1); v != 0 {
+		t.Fatalf("quality.TopFracMass(nil) = %v, want 0", v)
+	}
+	// One entry always counts even when frac*len < 1.
+	if v := quality.TopFracMass([]int32{3, 1}, 4, 0.1); v != 0.75 {
+		t.Fatalf("TopFracMass = %v, want 0.75", v)
 	}
 }

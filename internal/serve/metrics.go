@@ -36,13 +36,21 @@ type metrics struct {
 	shedSize   int64 // 413s from body or dimension limits
 	inFlight   int64 // HTTP requests currently being handled
 	perTech    map[string]*techStats
+
+	advisorRecs map[string]int64 // technique=auto recommendations by chosen technique
+	featCount   int64            // feature extractions actually performed (cache misses)
+	featTotalNs int64
+	// featBuckets[i] counts extractions with elapsed < 2^i ms, like the
+	// per-technique job histogram; the final bucket is the overflow.
+	featBuckets [latencyBuckets]int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]int64),
-		statuses: make(map[int]int64),
-		perTech:  make(map[string]*techStats),
+		requests:    make(map[string]int64),
+		statuses:    make(map[int]int64),
+		perTech:     make(map[string]*techStats),
+		advisorRecs: make(map[string]int64),
 	}
 }
 
@@ -86,6 +94,29 @@ func (m *metrics) observeJob(technique string, elapsed time.Duration, failed boo
 		b++
 	}
 	ts.buckets[b]++
+}
+
+// advisorRecommended records one technique=auto request resolving to the
+// chosen technique.
+func (m *metrics) advisorRecommended(technique string) {
+	m.mu.Lock()
+	m.advisorRecs[technique]++
+	m.mu.Unlock()
+}
+
+// observeFeatures records one advisor feature extraction (cache misses
+// only; digest-cache hits skip the extraction entirely).
+func (m *metrics) observeFeatures(elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.featCount++
+	m.featTotalNs += elapsed.Nanoseconds()
+	ms := elapsed.Milliseconds()
+	b := 0
+	for b < latencyBuckets-1 && ms >= 1<<b {
+		b++
+	}
+	m.featBuckets[b]++
 }
 
 // snapshotCounters returns (hits, misses) for tests and the amortization
@@ -134,6 +165,28 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheLen int) {
 	fmt.Fprintf(w, "reorderd_dedup_waits_total %d\n", m.dedupWaits)
 	fmt.Fprintf(w, "reorderd_shed_queue_total %d\n", m.shedQueue)
 	fmt.Fprintf(w, "reorderd_shed_size_total %d\n", m.shedSize)
+
+	recs := make([]string, 0, len(m.advisorRecs))
+	for name := range m.advisorRecs {
+		recs = append(recs, name)
+	}
+	sort.Strings(recs)
+	for _, name := range recs {
+		fmt.Fprintf(w, "reorderd_advisor_recommendations_total{technique=%q} %d\n", name, m.advisorRecs[name])
+	}
+	fmt.Fprintf(w, "reorderd_advisor_features_total %d\n", m.featCount)
+	fmt.Fprintf(w, "reorderd_advisor_features_seconds_sum %.6f\n", float64(m.featTotalNs)/1e9)
+	if m.featCount > 0 {
+		cum := int64(0)
+		for b := 0; b < latencyBuckets; b++ {
+			cum += m.featBuckets[b]
+			le := fmt.Sprintf("%d", int64(1)<<b)
+			if b == latencyBuckets-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(w, "reorderd_advisor_features_ms_bucket{le=%q} %d\n", le, cum)
+		}
+	}
 
 	techs := make([]string, 0, len(m.perTech))
 	for name := range m.perTech {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/reorder"
@@ -98,6 +99,7 @@ type Server struct {
 	pool     *workerPool
 	cache    *lruCache // digest|technique → *reorderResult
 	quality  *lruCache // digest → *qualityStats
+	features *lruCache // digest → advisor.Features (technique=auto)
 	matrices *matrixCache
 	metrics  *metrics
 
@@ -140,6 +142,14 @@ type qualityStats struct {
 	Communities int32   `json:"communities"`
 }
 
+// advisorInfo is the technique=auto block of the /reorder response: how
+// the advisor arrived at the technique the response carries.
+type advisorInfo struct {
+	Model      string           `json:"model"`
+	Confidence float64          `json:"confidence"`
+	Ranked     []advisor.Scored `json:"ranked"`
+}
+
 // reorderResponse is the /reorder JSON body.
 type reorderResponse struct {
 	Technique   string             `json:"technique"`
@@ -153,6 +163,7 @@ type reorderResponse struct {
 	ComputeMS   float64            `json:"compute_ms"`
 	Permutation sparse.Permutation `json:"permutation"`
 	Quality     *qualityStats      `json:"quality,omitempty"`
+	Advisor     *advisorInfo       `json:"advisor,omitempty"`
 }
 
 // New builds a Server and starts its worker pool.
@@ -164,6 +175,7 @@ func New(cfg Config) *Server {
 		pool:     newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache:    newLRUCache(cfg.CacheEntries),
 		quality:  newLRUCache(cfg.CacheEntries),
+		features: newLRUCache(cfg.CacheEntries),
 		matrices: newMatrixCache(cfg.MatrixCacheEntries),
 		metrics:  newMetrics(),
 		flights:  make(map[string]*flight),
@@ -235,7 +247,9 @@ func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
 	for _, t := range reorder.All() {
 		names = append(names, t.Name())
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"techniques": names})
+	// "auto" is a pseudo-technique: the advisor picks a concrete one per
+	// matrix, so it is reported separately from the real orderings.
+	s.writeJSON(w, http.StatusOK, map[string]any{"techniques": names, "pseudo": []string{"auto"}})
 }
 
 // handleReorder is the main endpoint: resolve the technique, obtain the
@@ -254,19 +268,26 @@ func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
 	if techName == "" {
 		techName = "RABBIT++"
 	}
-	tech, err := s.cfg.Resolver(techName)
-	if err != nil && strings.Contains(techName, " ") {
-		// "+" in a query string decodes to a space and technique names
-		// never contain spaces, so undo the damage for clients that send
-		// technique=RABBIT++ without percent-encoding.
-		fixed := strings.ReplaceAll(techName, " ", "+")
-		if t2, err2 := s.cfg.Resolver(fixed); err2 == nil {
-			tech, err, techName = t2, nil, fixed
+	// technique=auto defers resolution until the matrix is loaded: the
+	// advisor picks the concrete technique from the matrix's features.
+	auto := strings.EqualFold(techName, "auto")
+	var tech reorder.OrdererCtx
+	if !auto {
+		var err error
+		tech, err = s.cfg.Resolver(techName)
+		if err != nil && strings.Contains(techName, " ") {
+			// "+" in a query string decodes to a space and technique names
+			// never contain spaces, so undo the damage for clients that send
+			// technique=RABBIT++ without percent-encoding.
+			fixed := strings.ReplaceAll(techName, " ", "+")
+			if t2, err2 := s.cfg.Resolver(fixed); err2 == nil {
+				tech, err, techName = t2, nil, fixed
+			}
 		}
-	}
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
-		return
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 
 	ctx := r.Context()
@@ -302,6 +323,30 @@ func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest,
 			fmt.Errorf("serve: reordering requires a square matrix, got %dx%d", m.NumRows, m.NumCols))
 		return
+	}
+
+	var adv *advisorInfo
+	if auto {
+		rec, err := s.advise(ctx, m)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				status = http.StatusServiceUnavailable
+			}
+			s.writeError(w, status, err)
+			return
+		}
+		techName = rec.Best()
+		if tech, err = s.cfg.Resolver(techName); err != nil {
+			s.writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("serve: advisor chose unresolvable technique %q: %w", techName, err))
+			return
+		}
+		s.metrics.advisorRecommended(techName)
+		adv = &advisorInfo{Model: rec.Model, Confidence: rec.Confidence, Ranked: rec.Ranked}
 	}
 
 	wantQuality := true
@@ -344,7 +389,26 @@ func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
 		ComputeMS:   res.ComputeMS,
 		Permutation: res.Perm,
 		Quality:     res.Quality,
+		Advisor:     adv,
 	})
+}
+
+// advise returns the advisor's recommendation for the matrix, serving the
+// feature vector from the digest-keyed cache when the matrix has been
+// profiled before (the extraction, not the model, is the expensive part).
+func (s *Server) advise(ctx context.Context, m *sparse.CSR) (advisor.Recommendation, error) {
+	digest := m.Digest()
+	if v, ok := s.features.get(digest); ok {
+		return advisor.Recommend(advisor.DefaultModel(), v.(advisor.Features)), nil
+	}
+	start := time.Now()
+	f, err := advisor.FeaturesCtx(ctx, m)
+	if err != nil {
+		return advisor.Recommendation{}, err
+	}
+	s.metrics.observeFeatures(time.Since(start))
+	s.features.put(digest, f)
+	return advisor.Recommend(advisor.DefaultModel(), f), nil
 }
 
 // errUnknownMatrix marks corpus references that do not resolve, mapped to

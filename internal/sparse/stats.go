@@ -1,7 +1,5 @@
 package sparse
 
-import "sort"
-
 // Degrees returns the out-degree (row length) of every row.
 func (m *CSR) Degrees() []int32 {
 	d := make([]int32, m.NumRows)
@@ -61,29 +59,11 @@ func (m *CSR) Bandwidth() int32 {
 	return bw
 }
 
-// DegreeSkew returns the fraction of nonzeros belonging to the top `frac`
-// most connected rows (by in-degree, matching the paper's use of in-degrees
-// for push-style kernels). The paper defines skew with frac = 0.10: "the
-// percentage of non-zeros connected to the top 10% most connected rows"
-// (Section V-B). High skew indicates strong power-law behaviour.
-func (m *CSR) DegreeSkew(frac float64) float64 {
-	if m.NNZ() == 0 || m.NumCols == 0 {
-		return 0
-	}
-	deg := m.InDegrees()
-	sorted := make([]int32, len(deg))
-	copy(sorted, deg)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] > sorted[b] })
-	k := int(float64(len(sorted)) * frac)
-	if k < 1 {
-		k = 1
-	}
-	var top int64
-	for _, d := range sorted[:k] {
-		top += int64(d)
-	}
-	return float64(top) / float64(m.NNZ())
-}
+// DegreeSkew moved to internal/quality (quality.DegreeSkew /
+// quality.TopFracMass): the top-10% skew statistic is an ordering-quality
+// concern shared by the community-stats analysis and the advisor's feature
+// extractor, and keeping one implementation there removes the duplicate
+// this package used to carry.
 
 // DegreeDistribution returns a histogram of row lengths: result[d] is the
 // number of rows with exactly d nonzeros, up to the maximum degree.

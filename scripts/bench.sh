@@ -78,3 +78,28 @@ cat > BENCH_cachesim.json <<EOF
 EOF
 
 echo "==> BENCH_cachesim.json (LRU ${lru_speedup}x, Belady ${bel_speedup}x vs reference)"
+
+echo "==> go test -bench BenchmarkFeatures ./internal/advisor"
+advout=$(go test -run='^$' -bench='^BenchmarkFeatures$' \
+	-benchmem -timeout 30m ./internal/advisor)
+echo "$advout"
+
+feat_ns=$(echo "$advout" | awk '$1 ~ /^BenchmarkFeatures/ {print $3}')
+feat_bytes=$(echo "$advout" | awk '$1 ~ /^BenchmarkFeatures/ {print $5}')
+feat_allocs=$(echo "$advout" | awk '$1 ~ /^BenchmarkFeatures/ {print $7}')
+if [ -z "$feat_ns" ]; then
+	echo "bench.sh: could not parse advisor benchmark output" >&2
+	exit 1
+fi
+
+cat > BENCH_advisor.json <<EOF
+{
+  "benchmark": "advisor feature extraction (RMAT 2^14 nodes, avg degree 16)",
+  "features_ns_per_op": $feat_ns,
+  "features_bytes_per_op": $feat_bytes,
+  "features_allocs_per_op": $feat_allocs,
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_advisor.json (feature extraction ${feat_ns} ns/op)"

@@ -47,4 +47,10 @@ go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
 echo "==> fuzz smoke: FuzzLRUFastVsReference (internal/cachesim differential)"
 go test -run=NONE -fuzz=FuzzLRUFastVsReference -fuzztime=5s ./internal/cachesim
 
+echo "==> fuzz smoke: FuzzFeatures (internal/advisor)"
+go test -run=NONE -fuzz=FuzzFeatures -fuzztime=5s ./internal/advisor
+
+echo "==> advisor eval smoke (committed model on the test subset)"
+go run ./cmd/advisor eval -corpus small -matrices soc-tight-2,cfd-2d-5pt,pld-arc-like,er-deg16,mawi-like,wiki-talk-like >/dev/null
+
 echo "All checks passed."

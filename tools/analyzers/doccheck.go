@@ -6,7 +6,8 @@ import (
 
 // DocCheck flags exported declarations without a doc comment in the
 // packages whose godoc the repository treats as API contract: the cache
-// simulator, the trace generators, and the HTTP service. Those packages
+// simulator, the trace generators, the HTTP service, and the technique
+// advisor. Those packages
 // promise units (bytes, line IDs, accesses) and determinism guarantees in
 // their doc comments, and the differential-testing story depends on readers
 // being able to trust them; an undocumented exported symbol is a contract
@@ -16,6 +17,7 @@ var DocCheck = &Analyzer{
 	Doc:  "flags undocumented exported symbols in contract packages",
 	Packages: []string{
 		"internal/cachesim", "internal/trace", "internal/serve",
+		"internal/advisor",
 	},
 	Run: runDocCheck,
 }
