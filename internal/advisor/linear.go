@@ -80,8 +80,15 @@ func (m *LinearModel) Validate() error {
 	if len(m.Weights) == 0 {
 		return fmt.Errorf("advisor: model has no technique weights")
 	}
-	for t, w := range m.Weights {
-		if len(w) != want+1 {
+	// Sorted iteration so a model with several malformed entries reports
+	// the same technique on every run.
+	techs := make([]string, 0, len(m.Weights))
+	for t := range m.Weights {
+		techs = append(techs, t)
+	}
+	sort.Strings(techs)
+	for _, t := range techs {
+		if w := m.Weights[t]; len(w) != want+1 {
 			return fmt.Errorf("advisor: technique %q has %d weights, want %d", t, len(w), want+1)
 		}
 	}

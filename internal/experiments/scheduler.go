@@ -33,7 +33,9 @@ const (
 // Unit is one schedulable piece of work: a point in the
 // (matrix × technique × kernel) space a figure needs.
 type Unit struct {
-	Kind   UnitKind
+	// Kind selects how deep the unit drives the pipeline.
+	Kind UnitKind
+	// Matrix names the corpus entry the unit operates on.
 	Matrix string
 	Tech   reorder.Technique // nil for UnitStats
 	Kernel gpumodel.Kernel   // zero value for UnitStats/UnitPerm
@@ -94,25 +96,41 @@ func BeladyUnits(entries []gen.Entry, techs []reorder.Technique, kernels ...gpum
 // SimLRU/SimBelady is a pure cache hit, so callers can aggregate serially
 // in corpus order at no cost.
 func (r *Runner) Prefetch(units []Unit) error {
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		first   error
-	)
-	for _, u := range units {
-		u := u
+	if r.Workers() == 1 {
+		// Inline execution: one worker gains nothing from the pool, and on
+		// a single-CPU host the goroutine + channel hops per unit cost real
+		// time (BenchmarkSerialPathOverhead pins the bypass at <5% over a
+		// bare loop). Every unit still runs — same warm-cache postcondition
+		// as the pool path.
+		var first error
+		for _, u := range units {
+			if err := r.runUnit(u); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(units))
+	for i, u := range units {
+		i, u := i, u
 		wg.Add(1)
 		r.sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-r.sem }()
-			if err := r.runUnit(u); err != nil {
-				errOnce.Do(func() { first = err })
-			}
+			errs[i] = r.runUnit(u)
 		}()
 	}
 	wg.Wait()
-	return first
+	// First error in unit order, not completion order: the same failing
+	// corpus reports the same error no matter how the pool interleaves.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runUnit drives one unit through the cache-backed accessors; dedup with
@@ -142,6 +160,24 @@ func (r *Runner) runUnit(u Unit) error {
 func forNames[T any](r *Runner, names []string, fn func(md *MatrixData) (T, error)) ([]T, error) {
 	out := make([]T, len(names))
 	errs := make([]error, len(names))
+	if r.Workers() == 1 {
+		// Same inline bypass as Prefetch: no goroutines when there is no
+		// parallelism to buy.
+		for i, name := range names {
+			md, err := r.Matrix(name)
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			out[i], errs[i] = fn(md)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
 	var wg sync.WaitGroup
 	for i, name := range names {
 		i, name := i, name

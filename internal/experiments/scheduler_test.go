@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/gpumodel"
 	"repro/internal/reorder"
@@ -116,6 +117,92 @@ func TestSchedulerExactlyOnce(t *testing.T) {
 	if perms == 0 {
 		t.Error("no permutations recorded")
 	}
+}
+
+// TestPrefetchInlineBypass proves the workers=1 path never touches the
+// worker pool: with the runner's only pool slot already held, the pool
+// path would block forever, so completion within the timeout means the
+// scheduler executed the units inline. It also checks the bypass keeps
+// the deterministic first-error contract of the pool path.
+func TestPrefetchInlineBypass(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Matrices = []string{"er-deg16"}
+	cfg.Workers = 1
+	r := NewRunner(cfg)
+	r.sem <- struct{}{} // occupy the only slot; inline execution must not need it
+	defer func() { <-r.sem }()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Prefetch(StatsUnits(r.Entries()))
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inline Prefetch: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Prefetch blocked on the worker pool despite workers=1")
+	}
+
+	// First error in unit order, matching the pool path's contract.
+	units := []Unit{
+		{Kind: UnitStats, Matrix: "no-such-a"},
+		{Kind: UnitStats, Matrix: "no-such-b"},
+	}
+	err := r.Prefetch(units)
+	if err == nil || !strings.Contains(err.Error(), "no-such-a") {
+		t.Fatalf("inline Prefetch error = %v, want the first unit's (no-such-a)", err)
+	}
+
+	// forNames shares the bypass; run it with the slot still held too.
+	go func() {
+		_, err := forNames(r, []string{"er-deg16"}, func(md *MatrixData) (int64, error) {
+			return md.NNZ, nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("inline forNames: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("forNames blocked on the worker pool despite workers=1")
+	}
+}
+
+// BenchmarkSerialPathOverhead isolates scheduler dispatch cost: with all
+// caches warm, every unit is a pure lookup, so the gap between a bare
+// loop over runUnit and Prefetch on a workers=1 runner is the bypass's
+// own overhead. scripts/bench.sh records the ratio in
+// BENCH_experiments.json; the budget is <5%.
+func BenchmarkSerialPathOverhead(b *testing.B) {
+	cfg := SmallConfig()
+	cfg.Matrices = []string{"er-deg16", "cfd-2d-5pt"}
+	cfg.Workers = 1
+	r := NewRunner(cfg)
+	techs := []reorder.Technique{reorder.Original{}, reorder.Rabbit{}}
+	units := SimUnits(r.Entries(), techs, SpMV)
+	if err := r.Prefetch(units); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, u := range units {
+				if err := r.runUnit(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("prefetch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := r.Prefetch(units); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // TestParallelMatchesSerial recomputes one figure's numbers on two fresh
