@@ -1,22 +1,33 @@
 // Command lint is the repository's multichecker: it runs the custom
 // go/analysis-style passes in tools/analyzers (mapiter, floatcmp,
-// uncheckedcast, permreturn) over the given package patterns and exits
-// non-zero when any finding survives.
+// uncheckedcast, permreturn, doccheck, detsource, ctxflow, hotalloc,
+// lockmix) over the given package patterns and exits non-zero when any
+// finding survives.
 //
 // Usage:
 //
 //	go run ./cmd/lint ./...
 //	go run ./cmd/lint -list
 //	go run ./cmd/lint -run mapiter,floatcmp ./internal/...
+//	go run ./cmd/lint -json ./...            # machine-readable findings
+//	go run ./cmd/lint -fix -run ctxflow ./...  # apply mechanical fixes
+//
+// -json emits one JSON object per finding on stdout (analyzer, position,
+// message, fixable), for editor and CI integration. -fix applies the
+// mechanical rewrites some analyzers attach (today: ctxflow's
+// call-the-Ctx-variant rewrite) and reports what it changed; run the
+// linter again afterwards — a rewrite can expose further findings.
 //
 // Findings can be suppressed line by line with a
 // `//lint:allow <analyzer> <reason>` comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/tools/analyzers"
@@ -31,8 +42,10 @@ func main() {
 
 func run() error {
 	var (
-		list = flag.Bool("list", false, "list available analyzers and exit")
-		only = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		list    = flag.Bool("list", false, "list available analyzers and exit")
+		only    = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		asJSON  = flag.Bool("json", false, "emit findings as JSON lines on stdout")
+		doFixes = flag.Bool("fix", false, "apply mechanical fixes attached to findings")
 	)
 	flag.Parse()
 
@@ -69,13 +82,90 @@ func run() error {
 		return err
 	}
 	diags := analyzers.RunAll(pkgs, selected)
-	for _, d := range diags {
-		fmt.Println(d)
+
+	if *doFixes {
+		return applyFixes(diags)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+				Fixable:  d.Fix != nil,
+			}); err != nil {
+				return err
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
-	fmt.Printf("lint: %d packages, %d analyzers, 0 findings\n", len(pkgs), len(selected))
+	if !*asJSON {
+		fmt.Printf("lint: %d packages, %d analyzers, 0 findings\n", len(pkgs), len(selected))
+	}
+	return nil
+}
+
+// jsonFinding is the -json output shape, one object per line.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Fixable  bool   `json:"fixable"`
+}
+
+// applyFixes rewrites the files whose findings carry mechanical fixes,
+// applying each file's edits back to front so earlier offsets stay valid.
+func applyFixes(diags []analyzers.Diagnostic) error {
+	byFile := map[string][]*analyzers.TextEdit{}
+	skipped := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			skipped++
+			continue
+		}
+		byFile[d.Fix.Filename] = append(byFile[d.Fix.Filename], d.Fix)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	applied := 0
+	for _, file := range files {
+		edits := byFile[file]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return fmt.Errorf("fix for %s has offsets [%d, %d) outside the file", file, e.Start, e.End)
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("lint: fixed %d finding(s) in %s\n", len(edits), file)
+	}
+	fmt.Printf("lint: applied %d fix(es); %d finding(s) need manual attention\n", applied, skipped)
+	if skipped > 0 {
+		os.Exit(1)
+	}
 	return nil
 }

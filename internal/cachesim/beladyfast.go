@@ -61,6 +61,8 @@ func (t *Trace) Emit(line int64) {
 func (t *Trace) Len() int64 { return t.n }
 
 // At returns the i-th recorded line ID; i must be in [0, Len()).
+//
+//repro:noalloc
 func (t *Trace) At(i int64) int64 {
 	return t.chunks[i>>traceChunkBits][i&(traceChunk-1)]
 }
@@ -114,6 +116,8 @@ func (t *idxTable) hash(line int64) uint64 {
 }
 
 // find returns the bucket for line, its value, and whether it was present.
+//
+//repro:noalloc
 func (t *idxTable) find(line int64) (bucket int, val int64, found bool) {
 	i := t.hash(line)
 	for {

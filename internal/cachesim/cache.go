@@ -4,6 +4,8 @@
 // 6 MB L2 validated to within 4% of hardware counters, plus an idealized
 // Belady cache to bound the remaining headroom (Figure 8). It also tracks
 // "dead lines" — lines filled but never reused (Table III).
+//
+//repro:deterministic
 package cachesim
 
 import (

@@ -78,6 +78,8 @@ func (t *lineTable) hash(line int64) uint64 {
 // find probes for line and returns the bucket index, its value, and
 // whether the key was present. When absent, the returned bucket is the
 // insertion point (valid until the next grow).
+//
+//repro:noalloc
 func (t *lineTable) find(line int64) (bucket int, val int32, found bool) {
 	i := t.hash(line)
 	for {
@@ -156,6 +158,8 @@ func NewFastLRU(cfg Config, sizeHint int64) *FastLRU {
 
 // setOf maps a line ID to its set: a mask for power-of-two set counts, a
 // modulo otherwise (the A6000 L2 has 3072 sets).
+//
+//repro:noalloc
 func (c *FastLRU) setOf(line int64) int64 {
 	if c.mask >= 0 {
 		return line & c.mask
@@ -164,6 +168,8 @@ func (c *FastLRU) setOf(line int64) int64 {
 }
 
 // moveToFront splices an already-linked slot to the MRU end of its set.
+//
+//repro:noalloc
 func (c *FastLRU) moveToFront(set int64, si int32) {
 	if c.head[set] == si {
 		return
@@ -233,6 +239,8 @@ func (c *FastLRU) growTable() {
 }
 
 // pushFront links a fresh (previously unlinked) slot at the MRU end.
+//
+//repro:noalloc
 func (c *FastLRU) pushFront(set int64, si int32) {
 	s := &c.slots[si]
 	s.prev = -1
@@ -251,6 +259,8 @@ func (c *FastLRU) pushFront(set int64, si int32) {
 // The fast path performs no heap allocation (the line table grows
 // amortized only while new distinct lines keep appearing beyond the
 // construction hint).
+//
+//repro:noalloc
 func (c *FastLRU) Access(line int64) bool {
 	if line < 0 {
 		panic("cachesim: negative line ID")
@@ -304,6 +314,8 @@ func (c *FastLRU) Access(line int64) bool {
 // Finalize folds still-resident never-reused lines into DeadFills and
 // returns the final statistics. The receiver can keep streaming accesses
 // afterwards; Finalize is a pure read.
+//
+//repro:noalloc
 func (c *FastLRU) Finalize() Stats {
 	s := c.stats
 	for i := range c.slots {

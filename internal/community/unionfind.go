@@ -2,6 +2,8 @@
 // community-quality metrics the paper uses to explain reordering
 // effectiveness: modularity, insularity, insular-node identification, and
 // community size statistics (Section V).
+//
+//repro:deterministic
 package community
 
 // UnionFind is a disjoint-set forest with path halving and union by size.

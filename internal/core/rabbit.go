@@ -2,6 +2,8 @@
 // community-based matrix reordering (Arai et al., IPDPS'16, reimplemented
 // from scratch) and the paper's enhanced RABBIT++ variant, which
 // additionally groups insular nodes and hub nodes (Section VI).
+//
+//repro:deterministic
 package core
 
 import (

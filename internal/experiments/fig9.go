@@ -23,6 +23,8 @@ import (
 // paper's (which measured a real CPU against a real A6000); their ordering
 // — GORDER needing an order of magnitude more iterations than RABBIT, and
 // RABBIT++ adding modest overhead over RABBIT — is the reproduced result.
+//
+//lint:allow detsource Figure 9 measures real reordering wall time; the timing column is nondeterministic by design
 func Fig9(r *Runner) (*report.Table, error) {
 	sizes := []int32{8192, 16384, 32768, 65536}
 	if r.cfg.Preset == gen.Full {

@@ -13,6 +13,8 @@
 // by per-key in-flight dedup, so the units execute exactly once no matter
 // how many figures request them concurrently, and each figure aggregates
 // its table serially in corpus order from the warm caches.
+//
+//repro:deterministic
 package experiments
 
 import (
@@ -35,7 +37,10 @@ import (
 // Config selects the corpus scale, the simulated device, and an optional
 // matrix subset.
 type Config struct {
+	// Preset selects the synthetic corpus scale (gen.Small or gen.Full).
 	Preset gen.Preset
+	// Device is the simulated accelerator whose cache geometry and
+	// bandwidth model the experiments target.
 	Device gpumodel.Device
 	// Matrices restricts the corpus to the named entries; nil runs all 50.
 	Matrices []string
@@ -70,10 +75,14 @@ const InsularityThreshold = 0.95
 
 // MatrixData bundles one corpus matrix with its cached intermediates.
 type MatrixData struct {
+	// Entry is the corpus entry this matrix was generated from.
 	Entry gen.Entry
-	M     *sparse.CSR
-	N     int64
-	NNZ   int64
+	// M is the generated matrix in CSR form.
+	M *sparse.CSR
+	// N is the matrix dimension (square, so rows == cols).
+	N int64
+	// NNZ is the number of stored nonzeros.
+	NNZ int64
 
 	once   sync.Once
 	rabbit *core.RabbitResult

@@ -25,7 +25,18 @@ func SpMVCSR(a *sparse.CSR, x, y []float32) error {
 	if len(y) != int(a.NumRows) {
 		return fmt.Errorf("kernels: y has %d entries for %d rows", len(y), a.NumRows)
 	}
-	for row := int32(0); row < a.NumRows; row++ {
+	spmvCSRRows(a, x, y, 0, a.NumRows)
+	return nil
+}
+
+// spmvCSRRows accumulates rows [lo, hi) of y = A·x — the inner loop both
+// the serial and the parallel CSR kernels share. Validation (and its
+// escaping fmt.Errorf operands) stays in the exported wrappers so this
+// body holds the zero-allocation contract.
+//
+//repro:noalloc
+func spmvCSRRows(a *sparse.CSR, x, y []float32, lo, hi int32) {
+	for row := lo; row < hi; row++ {
 		start, end := a.RowOffsets[row], a.RowOffsets[row+1]
 		var sum float32
 		for i := start; i < end; i++ {
@@ -33,7 +44,6 @@ func SpMVCSR(a *sparse.CSR, x, y []float32) error {
 		}
 		y[row] = sum
 	}
-	return nil
 }
 
 // SpMVCSRParallel computes y = A·x using all available cores, partitioning
@@ -68,14 +78,7 @@ func SpMVCSRParallel(a *sparse.CSR, x, y []float32) error {
 		wg.Add(1)
 		go func(lo, hi int32) {
 			defer wg.Done()
-			for row := lo; row < hi; row++ {
-				start, end := a.RowOffsets[row], a.RowOffsets[row+1]
-				var sum float32
-				for i := start; i < end; i++ {
-					sum += a.Values[i] * x[a.ColIndices[i]]
-				}
-				y[row] = sum
-			}
+			spmvCSRRows(a, x, y, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -92,10 +95,17 @@ func SpMVCOO(a *sparse.COO, x, y []float32) error {
 	if len(y) != int(a.NumRows) {
 		return fmt.Errorf("kernels: y has %d entries for %d rows", len(y), a.NumRows)
 	}
+	spmvCOOCore(a, x, y)
+	return nil
+}
+
+// spmvCOOCore is the COO accumulation loop, kept allocation-free.
+//
+//repro:noalloc
+func spmvCOOCore(a *sparse.COO, x, y []float32) {
 	for k := range a.RowIdx {
 		y[a.RowIdx[k]] += a.Values[k] * x[a.ColIdx[k]]
 	}
-	return nil
 }
 
 // Dense is a row-major dense matrix used as the SpMM operand: the paper
@@ -131,6 +141,15 @@ func SpMMCSR(a *sparse.CSR, b, c *Dense) error {
 	if c.Rows != a.NumRows || c.Cols != b.Cols {
 		return fmt.Errorf("kernels: C is %dx%d, want %dx%d", c.Rows, c.Cols, a.NumRows, b.Cols)
 	}
+	spmmCSRCore(a, b, c)
+	return nil
+}
+
+// spmmCSRCore is the SpMM row loop; Row returns sub-slices of existing
+// backing arrays, so the body allocates nothing.
+//
+//repro:noalloc
+func spmmCSRCore(a *sparse.CSR, b, c *Dense) {
 	for row := int32(0); row < a.NumRows; row++ {
 		out := c.Row(row)
 		for i := range out {
@@ -145,7 +164,6 @@ func SpMMCSR(a *sparse.CSR, b, c *Dense) error {
 			}
 		}
 	}
-	return nil
 }
 
 // DenseSpMVReference computes y = A·x by materializing nothing: it walks
@@ -176,6 +194,14 @@ func SpMVCSC(a *sparse.CSC, x, y []float32) error {
 	if len(y) != int(a.NumRows) {
 		return fmt.Errorf("kernels: y has %d entries for %d rows", len(y), a.NumRows)
 	}
+	spmvCSCCore(a, x, y)
+	return nil
+}
+
+// spmvCSCCore is the CSC scatter loop, kept allocation-free.
+//
+//repro:noalloc
+func spmvCSCCore(a *sparse.CSC, x, y []float32) {
 	for col := int32(0); col < a.NumCols; col++ {
 		rows, vals := a.Col(col)
 		xj := x[col]
@@ -183,5 +209,4 @@ func SpMVCSC(a *sparse.CSC, x, y []float32) error {
 			y[r] += vals[k] * xj
 		}
 	}
-	return nil
 }

@@ -7,6 +7,8 @@
 // Every technique consumes a square CSR matrix and produces a permutation
 // mapping old IDs to new IDs; applying it with CSR.PermuteSymmetric
 // preserves kernel semantics exactly (a property the test suites verify).
+//
+//repro:deterministic
 package reorder
 
 import (

@@ -472,6 +472,7 @@ func (s *Server) compute(ctx context.Context, key string, tech reorder.OrdererCt
 	// The job context is detached from any single request: the job keeps
 	// running while at least one waiter remains interested, and is
 	// cancelled when the last one leaves or the compute budget expires.
+	//lint:allow ctxflow the job deliberately outlives the submitting request; refcounted cancel below
 	jobCtx, jobCancel := context.WithTimeout(context.Background(), s.cfg.MaxJobTime)
 	f := &flight{done: make(chan struct{}), waiters: 1, cancel: jobCancel}
 	s.flights[key] = f

@@ -13,6 +13,9 @@ go vet ./...
 echo "==> go run ./cmd/lint ./..."
 go run ./cmd/lint ./...
 
+echo "==> hotalloc escape gate (//repro:noalloc kernels and simulator fast paths)"
+go run ./cmd/lint -run hotalloc ./internal/kernels ./internal/cachesim
+
 echo "==> go test -race ./..."
 go test -race ./...
 

@@ -22,26 +22,61 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding of one analyzer.
-type Diagnostic struct {
-	Analyzer string
-	Pos      token.Position
-	Message  string
+// TextEdit is a mechanical byte-range replacement that resolves a
+// diagnostic; cmd/lint -fix applies them.
+type TextEdit struct {
+	// Filename is the file the edit applies to.
+	Filename string
+	// Start and End are byte offsets into the file; [Start, End) is
+	// replaced by NewText.
+	Start, End int
+	// NewText is the replacement text.
+	NewText string
 }
 
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Analyzer names the pass that produced the finding.
+	Analyzer string
+	// Pos is the finding's resolved source position.
+	Pos token.Position
+	// Message is the human-readable finding text.
+	Message string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding (cmd/lint -fix applies it).
+	Fix *TextEdit
+}
+
+// String renders the diagnostic in file:line:col: [analyzer] message form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
 // Pass carries one type-checked package through one analyzer, mirroring
-// go/analysis.Pass.
+// go/analysis.Pass. The interprocedural additions — ImportPath/Dir
+// identifying the package, Graph with the package's static call graph,
+// and the fact accessors (ExportFact/ImportFact) — let analyzers reason
+// across package boundaries when RunAll drives them in dependency order.
 type Pass struct {
-	Fset      *token.FileSet
-	Files     []*ast.File
-	Pkg       *types.Package
+	// Fset resolves every position in the package.
+	Fset *token.FileSet
+	// Files holds the package's parsed files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression and object maps.
 	TypesInfo *types.Info
+	// ImportPath is the package's import path as go list reports it.
+	ImportPath string
+	// Dir is the package's source directory (hotalloc shells out to the
+	// toolchain from here).
+	Dir string
+	// Graph is the package's static call graph, built once per package
+	// and shared by every analyzer pass over it.
+	Graph *CallGraph
 
 	analyzer *Analyzer
+	facts    *FactStore
 	diags    *[]Diagnostic
 }
 
@@ -54,14 +89,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding at pos that carries a mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *TextEdit, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
 // Analyzer is one static-analysis pass.
 type Analyzer struct {
+	// Name is the analyzer's identifier, used by -run and lint:allow.
 	Name string
-	Doc  string
+	// Doc is the one-line description -list prints.
+	Doc string
 	// Packages restricts the driver to import paths containing one of these
-	// fragments; empty runs the pass on every package.
+	// fragments; empty runs the pass on every package. Interprocedural
+	// analyzers (detsource) leave this empty so they harvest facts from
+	// every loaded package; their reporting is gated by annotations
+	// instead.
 	Packages []string
-	Run      func(*Pass)
+	// Run executes the pass over one package.
+	Run func(*Pass)
 }
 
 // appliesTo reports whether the analyzer covers the import path.
@@ -79,26 +130,38 @@ func (a *Analyzer) appliesTo(importPath string) bool {
 
 // All returns the repository's analyzers in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, FloatCmp, UncheckedCast, PermReturn, DocCheck}
+	return []*Analyzer{
+		MapIter, FloatCmp, UncheckedCast, PermReturn, DocCheck,
+		DetSource, CtxFlow, HotAlloc, LockMix,
+	}
 }
 
 // RunAll runs every applicable analyzer over every package and returns the
-// surviving diagnostics sorted by position. Findings on lines carrying (or
-// directly below) a `//lint:allow <analyzer>` comment are suppressed.
+// surviving diagnostics sorted by position. Packages are processed in
+// dependency order over one shared fact store, so facts exported while
+// analyzing a package are visible to every package importing it. Findings
+// on lines carrying (or directly below) a `//lint:allow <analyzer>`
+// comment are suppressed.
 func RunAll(pkgs []*LoadedPackage, as []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	facts := NewFactStore()
+	for _, pkg := range topoSort(pkgs) {
+		graph := buildCallGraph(pkg)
 		for _, a := range as {
+			pass := &Pass{
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				ImportPath: pkg.ImportPath,
+				Dir:        pkg.Dir,
+				Graph:      graph,
+				analyzer:   a,
+				facts:      facts,
+				diags:      &diags,
+			}
 			if !a.appliesTo(pkg.ImportPath) {
 				continue
-			}
-			pass := &Pass{
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				analyzer:  a,
-				diags:     &diags,
 			}
 			a.Run(pass)
 		}

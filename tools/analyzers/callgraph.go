@@ -1,0 +1,113 @@
+package analyzers
+
+// A lightweight per-package call graph: every function declaration in the
+// package becomes a node whose edges are the statically resolvable calls
+// its body (including nested function literals) makes. Dynamic dispatch is
+// out of scope — calls through interface methods or function values record
+// the interface method's (or nothing resolvable's) key and are treated by
+// consumers as opaque. The graph is intraprocedural to build but the facts
+// layer makes its reachability queries interprocedural: detsource, for
+// example, folds callee facts exported by dependency packages into each
+// node's own fact.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallSite is one statically resolved call inside a function body.
+type CallSite struct {
+	// Callee is the target's symbol key (see symbolKey); for calls on
+	// interface receivers it names the interface method.
+	Callee string
+	// Interface reports whether the call dispatches through an interface
+	// method (so the static target is a declaration, not an
+	// implementation).
+	Interface bool
+	// Pos locates the call for diagnostics.
+	Pos token.Pos
+}
+
+// CallNode is one function declared in the analyzed package.
+type CallNode struct {
+	// Key is the function's symbol key.
+	Key string
+	// Decl is the declaration, body included.
+	Decl *ast.FuncDecl
+	// Calls lists the body's statically resolvable calls in source order,
+	// including calls made inside nested function literals.
+	Calls []CallSite
+}
+
+// CallGraph holds the package's nodes keyed by symbol, plus a stable
+// source order for deterministic iteration.
+type CallGraph struct {
+	// Nodes maps symbol keys to their declarations.
+	Nodes map[string]*CallNode
+	// Order lists the keys in source order.
+	Order []string
+}
+
+// buildCallGraph walks every function declaration of the package and
+// records its resolvable calls.
+func buildCallGraph(pkg *LoadedPackage) *CallGraph {
+	g := &CallGraph{Nodes: make(map[string]*CallNode)}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			node := &CallNode{Key: symbolKey(obj), Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if site, ok := resolveCall(pkg.Info, call); ok {
+					node.Calls = append(node.Calls, site)
+				}
+				return true
+			})
+			g.Nodes[node.Key] = node
+			g.Order = append(g.Order, node.Key)
+		}
+	}
+	return g
+}
+
+// resolveCall maps a call expression to its static *types.Func target,
+// when one exists. Calls of function-typed variables and conversions
+// resolve to nothing.
+func resolveCall(info *types.Info, call *ast.CallExpr) (CallSite, bool) {
+	var id *ast.Ident
+	iface := false
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			iface = types.IsInterface(sel.Recv())
+		}
+	case *ast.IndexExpr: // explicit generic instantiation F[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return CallSite{}, false
+	}
+	if id == nil {
+		return CallSite{}, false
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return CallSite{}, false
+	}
+	return CallSite{Callee: symbolKey(fn), Interface: iface, Pos: call.Pos()}, true
+}

@@ -1,0 +1,272 @@
+package analyzers
+
+// The corpus test drives every analyzer over the fixture packages under
+// testdata/src and diffs the produced diagnostics against the `// want
+// "substring"` expectations embedded in the fixtures — both directions:
+// a diagnostic with no matching want fails, and a want with no matching
+// diagnostic fails. Fixture packages type-check against each other (the
+// detsource facts case imports detfix/dep), so the cross-package facts
+// path runs for real; only hotalloc's compiler hook is stubbed, from the
+// "// alloc:" markers in its fixture.
+
+import (
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/escape"
+)
+
+// corpusImportPath assigns each fixture directory the import path its
+// package is checked under, chosen so the scoped analyzers apply and the
+// detsource fixtures can import each other.
+var corpusImportPath = map[string]string{
+	"mapiter":       "internal/core/fix_mapiter",
+	"floatcmp":      "internal/core/fix_floatcmp",
+	"uncheckedcast": "fix/uncheckedcast",
+	"permreturn":    "internal/core/fix_permreturn",
+	"doccheck":      "internal/cachesim/fix_doccheck",
+	"detsource_dep": "detfix/dep",
+	"detsource":     "detfix/use",
+	"ctxflow":       "internal/fix_ctxflow",
+	"hotalloc":      "fix/hotalloc",
+	"lockmix":       "fix/lockmix",
+}
+
+// fixtureImporter serves already-checked fixture packages by import path
+// and falls back to the source importer for the standard library.
+type fixtureImporter struct {
+	fallback types.Importer
+	pkgs     map[string]*types.Package
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.pkgs[path]; ok {
+		return p, nil
+	}
+	return i.fallback.Import(path)
+}
+
+// loadCorpus parses and type-checks every fixture package. Directories
+// are processed in name order; detsource_dep sorts before detsource's
+// user package only by accident of naming, so dependencies are re-queued
+// until they resolve.
+func loadCorpus(t *testing.T) []*LoadedPackage {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading corpus root: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fallback: importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*types.Package{},
+	}
+	type pending struct {
+		dir, path string
+		names     []string
+	}
+	var queue []pending
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		var names []string
+		for _, f := range files {
+			if strings.HasSuffix(f.Name(), ".go") {
+				names = append(names, f.Name())
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		path := corpusImportPath[e.Name()]
+		if path == "" {
+			path = e.Name()
+		}
+		queue = append(queue, pending{dir, path, names})
+	}
+
+	var pkgs []*LoadedPackage
+	for len(queue) > 0 {
+		var next []pending
+		progressed := false
+		for _, p := range queue {
+			pkg, err := loadOne(fset, imp, p.dir, p.path, p.names)
+			if err != nil {
+				next = append(next, p)
+				continue
+			}
+			imp.pkgs[p.path] = pkg.Types
+			pkgs = append(pkgs, pkg)
+			progressed = true
+		}
+		if !progressed {
+			for _, p := range queue {
+				_, err := loadOne(fset, imp, p.dir, p.path, p.names)
+				t.Fatalf("fixture %s does not type-check: %v", p.dir, err)
+			}
+		}
+		queue = next
+	}
+	return pkgs
+}
+
+// wantRe extracts one expectation per source line.
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+type wantExpectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// corpusWants scans every fixture file of the loaded packages for `//
+// want` expectations.
+func corpusWants(t *testing.T, pkgs []*LoadedPackage) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture %s: %v", name, err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				if m := wantRe.FindStringSubmatch(line); m != nil {
+					wants = append(wants, &wantExpectation{file: name, line: i + 1, substr: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// stubEscapeFromMarkers replaces the hotalloc escape hook with one that
+// fabricates allocations from "// alloc: <message>" markers in the
+// package's fixture files, restoring the real hook on cleanup.
+func stubEscapeFromMarkers(t *testing.T) {
+	t.Helper()
+	old := escapeAllocs
+	escapeAllocs = func(dir string) (map[string][]escape.Alloc, error) {
+		byFile := map[string][]escape.Alloc{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			file := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				_, after, ok := strings.Cut(line, "// alloc: ")
+				if !ok {
+					continue
+				}
+				msg := after
+				if cut := strings.Index(msg, "// want"); cut >= 0 {
+					msg = msg[:cut]
+				}
+				byFile[file] = append(byFile[file], escape.Alloc{
+					File: file, Line: i + 1, Col: 1, Message: strings.TrimSpace(msg),
+				})
+			}
+		}
+		return byFile, nil
+	}
+	t.Cleanup(func() { escapeAllocs = old })
+}
+
+// TestCorpus diffs every analyzer's diagnostics over the fixture corpus
+// against the embedded expectations.
+func TestCorpus(t *testing.T) {
+	stubEscapeFromMarkers(t)
+	pkgs := loadCorpus(t)
+	wants := corpusWants(t, pkgs)
+	diags := RunAll(pkgs, All())
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+				strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %s",
+				w.file, w.line, strconv.Quote(w.substr))
+		}
+	}
+}
+
+// TestCtxFlowFixGolden applies the mechanical fix ctxflow attaches to the
+// Caller fixture and compares the rewritten file against the committed
+// golden.
+func TestCtxFlowFixGolden(t *testing.T) {
+	pkgs := loadCorpus(t)
+	diags := RunAll(pkgs, []*Analyzer{CtxFlow})
+
+	target := filepath.Join("testdata", "src", "ctxflow", "caller.go")
+	var edits []*TextEdit
+	for _, d := range diags {
+		if d.Fix != nil && d.Fix.Filename == target {
+			edits = append(edits, d.Fix)
+		}
+	}
+	if len(edits) == 0 {
+		t.Fatalf("no fixable ctxflow diagnostic for %s (got %d diagnostics)", target, len(diags))
+	}
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+	for _, e := range edits {
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			t.Fatalf("edit offsets [%d, %d) outside file of %d bytes", e.Start, e.End, len(src))
+		}
+		src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+	}
+	golden, err := os.ReadFile(target + ".golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != string(golden) {
+		t.Errorf("fixed source differs from %s.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			target, src, golden)
+	}
+}

@@ -1,0 +1,237 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces that cancellation flows through the call tree instead
+// of silently stopping. Three rules:
+//
+//  1. A function holding a context.Context must not call F when a Ctx
+//     variant (FCtx, or method MCtx on the same receiver) exists — doing
+//     so severs cancellation exactly where it was available. These
+//     findings carry a mechanical fix (cmd/lint -fix rewrites the call to
+//     the variant with the context threaded as first argument).
+//  2. Library packages (import paths under internal/) must not mint
+//     fresh contexts with context.Background() or context.TODO(), except
+//     in the compatibility-shim pattern: a context-free function whose
+//     body delegates to a Ctx-suffixed variant (ExtractFeatures wrapping
+//     FeaturesCtx) has nowhere else to get a context from.
+//     Deliberate detachment (a job outliving its submit request) carries
+//     a //lint:allow ctxflow waiver with the reason inline.
+//  3. A named context parameter that the body never reads is cancellation
+//     theater — the signature promises propagation the implementation
+//     drops. (Interface-mandated parameters that are intentionally
+//     unused are renamed _ or waived.)
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforces context propagation: use Ctx variants, no Background in libraries, no dropped ctx params",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxIdent := ctxParamIdent(pass, fd.Type)
+			hasCtx := ctxIdent != nil && ctxIdent.Name != "_"
+			if hasCtx {
+				obj := pass.TypesInfo.Defs[ctxIdent]
+				if obj != nil && !usesObject(pass, fd.Body, obj) {
+					pass.Reportf(ctxIdent.Pos(),
+						"context parameter %s of %s is never used; thread it to callees or rename it _",
+						ctxIdent.Name, fd.Name.Name)
+				} else {
+					checkCtxVariantCalls(pass, fd, ctxIdent.Name)
+				}
+			}
+			checkFreshContext(pass, fd, hasCtx)
+		}
+	}
+}
+
+// checkCtxVariantCalls flags calls to F from a context-holding function
+// when an applicable FCtx variant exists, attaching the mechanical
+// rewrite.
+func checkCtxVariantCalls(pass *Pass, fd *ast.FuncDecl, ctxName string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		var sel *ast.Ident
+		switch v := fun.(type) {
+		case *ast.Ident:
+			sel = v
+		case *ast.SelectorExpr:
+			sel = v.Sel
+		default:
+			return true // generic instantiations etc. — no mechanical rewrite
+		}
+		fn, ok := pass.TypesInfo.Uses[sel].(*types.Func)
+		if !ok || strings.HasSuffix(fn.Name(), "Ctx") {
+			return true
+		}
+		// The Ctx variant conventionally wraps the context-free core; a
+		// call to the core from inside its own variant is the one place
+		// that call belongs.
+		if fd.Name.Name == fn.Name()+"Ctx" {
+			return true
+		}
+		variant := ctxVariantOf(pass, fn)
+		if variant == nil {
+			return true
+		}
+		pos := pass.Fset.Position(fun.Pos())
+		lparen := pass.Fset.Position(call.Lparen)
+		newText := exprString(fun) + "Ctx(" + ctxName
+		if len(call.Args) > 0 {
+			newText += ", "
+		}
+		fix := &TextEdit{
+			Filename: pos.Filename,
+			Start:    pos.Offset,
+			End:      lparen.Offset + 1,
+			NewText:  newText,
+		}
+		pass.ReportFix(call.Pos(), fix,
+			"call to %s drops %s; %s exists — thread the context",
+			fn.Name(), ctxName, variant.Name())
+		return true
+	})
+}
+
+// ctxVariantOf returns the callable Ctx variant of fn — FCtx in fn's
+// package scope for a function, MCtx in the receiver's method set for a
+// method — provided its first parameter is a context.Context and it is
+// accessible from the analyzed package.
+func ctxVariantOf(pass *Pass, fn *types.Func) *types.Func {
+	if fn.Pkg() == nil {
+		return nil // builtin
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), fn.Name()+"Ctx")
+	} else {
+		cand = fn.Pkg().Scope().Lookup(fn.Name() + "Ctx")
+	}
+	v, ok := cand.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if fn.Pkg() != pass.Pkg && !v.Exported() {
+		return nil
+	}
+	vsig, ok := v.Type().(*types.Signature)
+	if !ok || vsig.Params().Len() == 0 || !isContextType(vsig.Params().At(0).Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkFreshContext flags context.Background()/context.TODO() in library
+// packages, exempting the compatibility-shim pattern (no ctx param, body
+// delegates to the function's own Ctx variant).
+func checkFreshContext(pass *Pass, fd *ast.FuncDecl, hasCtx bool) {
+	if !strings.Contains(pass.ImportPath, "internal/") {
+		return
+	}
+	if !hasCtx && callsCtxVariant(fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if name := fn.Name(); name == "Background" || name == "TODO" {
+			what := "minting a fresh context severs cancellation"
+			if hasCtx {
+				what = "a context is already in scope"
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library function %s: %s; accept and propagate a caller context",
+				name, fd.Name.Name, what)
+		}
+		return true
+	})
+}
+
+// callsCtxVariant reports whether fd's body delegates to a Ctx-suffixed
+// function — the shape of a backward-compatibility shim.
+func callsCtxVariant(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && strings.HasSuffix(calleeName(call), "Ctx") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ctxParamIdent returns the identifier of the first context.Context
+// parameter, or nil when the signature has none (or it is unnamed).
+func ctxParamIdent(pass *Pass, ft *ast.FuncType) *ast.Ident {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return nil
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,337 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DetSource proves //repro:deterministic annotations: an annotated
+// function (or every exported function of an annotated package) must not
+// reach — transitively, through the static call graph and the
+// cross-package facts layer — any source of run-to-run nondeterminism:
+//
+//   - wall-clock reads (time.Now / Since / Until),
+//   - the unseeded math/rand (and math/rand/v2) global generators,
+//   - map iteration whose order leaks into results (the mapiter
+//     classification, applied transitively instead of per-package),
+//   - goroutine fan-in without an ordering step: a spawned goroutine
+//     writing a captured variable non-indexed, sending on a channel, or a
+//     range over a channel (results arrive in completion order).
+//
+// The package annotation goes in the package doc block of any file:
+//
+//	//repro:deterministic
+//	package core
+//
+// and covers every exported function and method. A function annotation in
+// a doc comment covers just that function. Wall-clock measurement paths
+// (Figure 9 times reordering for real) suppress with `//lint:allow
+// detsource <reason>` on the declaration line — the suppression policy
+// keeps every waiver greppable.
+//
+// Soundness limits, by construction: calls through interfaces and
+// function values are opaque (the paper pipelines dispatch techniques
+// through interfaces whose implementations are themselves annotated), and
+// facts only exist for packages the driver loaded — run the full `./...`
+// gate, not single-package subsets, when the verdict matters.
+var DetSource = &Analyzer{
+	Name: "detsource",
+	Doc:  "proves //repro:deterministic functions reach no nondeterminism source",
+	Run:  runDetSource,
+}
+
+// detFact is the per-function fact: how (if at all) the function reaches
+// nondeterminism. Reasons are human-readable chains, sorted, capped.
+type detFact struct {
+	Reasons []string
+}
+
+// maxDetReasons bounds the fact size; one reason is enough to fail the
+// gate, a few make the diagnostic chain informative.
+const maxDetReasons = 3
+
+// nondetCallees maps symbol keys of known-nondeterministic stdlib
+// functions to the reason they taint callers. Methods of seeded
+// *rand.Rand values are deliberately absent: a fixed-seed generator is
+// deterministic.
+var nondetCallees = map[string]string{
+	"time.Now":   "reads the wall clock (time.Now)",
+	"time.Since": "reads the wall clock (time.Since)",
+	"time.Until": "reads the wall clock (time.Until)",
+}
+
+func init() {
+	for _, pkg := range []string{"math/rand", "math/rand/v2"} {
+		for _, fn := range []string{
+			"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "IntN",
+			"Int32", "Int32N", "Int64", "Int64N", "N", "Uint32", "Uint64",
+			"UintN", "Uint64N", "Float32", "Float64", "ExpFloat64",
+			"NormFloat64", "Perm", "Shuffle", "Read",
+		} {
+			nondetCallees[pkg+"."+fn] = "draws from the unseeded global generator (" + pkg + "." + fn + ")"
+		}
+	}
+}
+
+func runDetSource(pass *Pass) {
+	// Phase 1: local sources per declared function.
+	local := make(map[string][]string, len(pass.Graph.Order))
+	for _, key := range pass.Graph.Order {
+		node := pass.Graph.Nodes[key]
+		local[key] = localNondetSources(pass, node)
+	}
+
+	// Phase 2: propagate to a fixpoint through the package's call graph,
+	// folding in facts exported by already-analyzed dependency packages.
+	// Reason strings are bounded (chains stop growing past a depth cap),
+	// so the monotone union terminates.
+	facts := make(map[string]*detFact, len(local))
+	for key, reasons := range local {
+		facts[key] = &detFact{Reasons: append([]string(nil), reasons...)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range pass.Graph.Order {
+			node := pass.Graph.Nodes[key]
+			fact := facts[key]
+			for _, call := range node.Calls {
+				if call.Interface {
+					continue // dynamic dispatch is opaque
+				}
+				for _, r := range calleeReasons(pass, facts, call.Callee) {
+					if fact.add(chainReason(call.Callee, r)) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: export every non-empty fact for downstream packages.
+	for _, key := range pass.Graph.Order {
+		if f := facts[key]; len(f.Reasons) > 0 {
+			sort.Strings(f.Reasons)
+			pass.ExportFact(key, *f)
+		}
+	}
+
+	// Phase 4: report annotated roots whose fact is non-empty.
+	pkgAnnotated := packageAnnotated(pass.Files)
+	for _, key := range pass.Graph.Order {
+		node := pass.Graph.Nodes[key]
+		root := hasAnnotation(node.Decl.Doc, "repro:deterministic") ||
+			(pkgAnnotated && node.Decl.Name.IsExported() && exportedRecv(node.Decl))
+		if !root {
+			continue
+		}
+		if f := facts[key]; len(f.Reasons) > 0 {
+			pass.Reportf(node.Decl.Name.Pos(),
+				"//repro:deterministic function %s reaches nondeterminism: %s",
+				node.Decl.Name.Name, f.Reasons[0])
+		}
+	}
+}
+
+// add inserts a reason if absent and under the cap; reports growth.
+func (f *detFact) add(reason string) bool {
+	for _, r := range f.Reasons {
+		if r == reason {
+			return false
+		}
+	}
+	if len(f.Reasons) >= maxDetReasons {
+		return false
+	}
+	f.Reasons = append(f.Reasons, reason)
+	return true
+}
+
+// chainReason prefixes a callee's reason with the call step, stopping the
+// chain from growing without bound through recursion cycles.
+func chainReason(callee, reason string) string {
+	const maxChain = 4
+	if strings.Count(reason, " -> ") >= maxChain-1 {
+		return reason
+	}
+	return shortSymbol(callee) + " -> " + reason
+}
+
+// calleeReasons returns the nondeterminism reasons attributed to a
+// callee: a known-bad stdlib function, an intra-package fact being built
+// this pass, or a cross-package fact imported from the store.
+func calleeReasons(pass *Pass, building map[string]*detFact, callee string) []string {
+	if reason, ok := nondetCallees[callee]; ok {
+		return []string{reason}
+	}
+	if f, ok := building[callee]; ok {
+		return f.Reasons
+	}
+	if v, ok := pass.ImportFact(callee); ok {
+		f := v.(detFact)
+		return f.Reasons
+	}
+	return nil
+}
+
+// packageAnnotated reports whether any file's package doc carries
+// //repro:deterministic.
+func packageAnnotated(files []*ast.File) bool {
+	for _, f := range files {
+		if hasAnnotation(f.Doc, "repro:deterministic") {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedRecv reports whether a declaration is godoc surface: a plain
+// function, or a method on an exported receiver type.
+func exportedRecv(fd *ast.FuncDecl) bool {
+	return fd.Recv == nil || exportedReceiver(fd.Recv)
+}
+
+// localNondetSources scans one function body (nested literals included —
+// their behaviour is the function's) for directly visible nondeterminism.
+func localNondetSources(pass *Pass, node *CallNode) []string {
+	var reasons []string
+	add := func(r string) {
+		for _, have := range reasons {
+			if have == r {
+				return
+			}
+		}
+		if len(reasons) < maxDetReasons {
+			reasons = append(reasons, r)
+		}
+	}
+	body := node.Decl.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			if r := goFanInReason(pass, s); r != "" {
+				add(r)
+			}
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(s.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				add("ranges over a channel (fan-in completion order)")
+				return true
+			}
+			if isMap(t) {
+				if r := mapRangeNondetReason(pass, s, body); r != "" {
+					add(r)
+				}
+			}
+		}
+		return true
+	})
+	return reasons
+}
+
+// mapRangeNondetReason applies the mapiter body classification: an
+// order-insensitive loop (per-key stores, integer accumulation, keys
+// collected and later sorted) is deterministic; anything else leaks map
+// order into the function's behaviour.
+func mapRangeNondetReason(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) string {
+	keyName := identName(rs.Key)
+	var collected []string
+	for _, stmt := range rs.Body.List {
+		verdict, collectTarget := classifyMapRangeStmt(pass, stmt, keyName)
+		switch verdict {
+		case stmtCollect:
+			collected = append(collected, collectTarget)
+		case stmtSafe:
+		default:
+			return "iterates map " + exprString(rs.X) + " in an order-sensitive way (" + string(verdict) + ")"
+		}
+	}
+	for _, target := range collected {
+		if !sortedAfter(funcBody, target, rs.End()) {
+			return "collects keys of map " + exprString(rs.X) + " into " + target + " without sorting"
+		}
+	}
+	return ""
+}
+
+// goFanInReason inspects a spawned goroutine for unordered result
+// publication: writes to captured variables that are not index-keyed
+// stores, and channel sends (received in completion order by someone).
+// Spawning a named function is opaque here; its own fact still flows
+// through the call edge.
+func goFanInReason(pass *Pass, g *ast.GoStmt) string {
+	fl, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return ""
+	}
+	// Objects declared inside the literal (params included) are private to
+	// one goroutine; everything else it writes is shared fan-in state.
+	inside := map[types.Object]bool{}
+	ast.Inspect(fl, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	var reason string
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			reason = "goroutine sends results on a channel (fan-in completion order)"
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if r := sharedWriteReason(pass, inside, lhs); r != "" {
+					reason = r
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if r := sharedWriteReason(pass, inside, s.X); r != "" {
+				reason = r
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// sharedWriteReason classifies one goroutine-side store target: indexed
+// stores into captured slices/maps own their slot and are ordering-safe;
+// plain writes to captured variables or fields race the other goroutines'
+// completion order.
+func sharedWriteReason(pass *Pass, inside map[types.Object]bool, lhs ast.Expr) string {
+	switch t := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		return "" // slot-owned store, e.g. out[i] = v
+	case *ast.Ident:
+		if t.Name == "_" {
+			return ""
+		}
+		obj := pass.TypesInfo.Uses[t]
+		if obj == nil || inside[obj] {
+			return ""
+		}
+		if _, ok := obj.(*types.Var); ok {
+			return "goroutine writes shared variable " + t.Name + " without an ordering step"
+		}
+	case *ast.SelectorExpr:
+		base := ast.Unparen(t.X)
+		if id, ok := base.(*ast.Ident); ok {
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || inside[obj] {
+				return ""
+			}
+			return "goroutine writes shared field " + exprString(t) + " without an ordering step"
+		}
+	}
+	return ""
+}

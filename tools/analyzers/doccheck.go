@@ -6,8 +6,9 @@ import (
 
 // DocCheck flags exported declarations without a doc comment in the
 // packages whose godoc the repository treats as API contract: the cache
-// simulator, the trace generators, the HTTP service, and the technique
-// advisor. Those packages
+// simulator, the trace generators, the HTTP service, the technique
+// advisor, the experiment harness, and the analyzer framework itself.
+// Those packages
 // promise units (bytes, line IDs, accesses) and determinism guarantees in
 // their doc comments, and the differential-testing story depends on readers
 // being able to trust them; an undocumented exported symbol is a contract
@@ -17,7 +18,7 @@ var DocCheck = &Analyzer{
 	Doc:  "flags undocumented exported symbols in contract packages",
 	Packages: []string{
 		"internal/cachesim", "internal/trace", "internal/serve",
-		"internal/advisor",
+		"internal/advisor", "internal/experiments", "tools/analyzers",
 	},
 	Run: runDocCheck,
 }

@@ -1,0 +1,149 @@
+package analyzers
+
+// The facts layer carries per-function analysis results across package
+// boundaries, mirroring go/analysis facts on the standard library alone.
+// An analyzer running on package A exports a fact about a function it
+// declares; when the driver later analyzes package B (RunAll processes
+// packages in dependency order), the same analyzer imports A's facts to
+// reason about calls into A without re-walking A's sources.
+//
+// Facts are keyed by the analyzer's name and the function's fully
+// qualified symbol (see symbolKey): the textual key is stable across the
+// separate type-checker instances the source importer creates for "A as
+// analysis target" and "A as dependency of B".
+
+import (
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FactStore holds exported per-symbol facts for one RunAll invocation,
+// shared by every analyzer across every package in dependency order.
+type FactStore struct {
+	facts map[string]map[string]any // analyzer name -> symbol key -> fact
+}
+
+// NewFactStore returns an empty store. RunAll creates one per invocation;
+// tests may build their own to seed cross-package cases.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: make(map[string]map[string]any)}
+}
+
+// export records the analyzer's fact about the symbol, replacing any
+// previous fact from the same analyzer.
+func (s *FactStore) export(analyzer, symbol string, fact any) {
+	m := s.facts[analyzer]
+	if m == nil {
+		m = make(map[string]any)
+		s.facts[analyzer] = m
+	}
+	m[symbol] = fact
+}
+
+// imp returns the analyzer's fact about the symbol, if one was exported.
+func (s *FactStore) imp(analyzer, symbol string) (any, bool) {
+	f, ok := s.facts[analyzer][symbol]
+	return f, ok
+}
+
+// symbols returns the keys the analyzer exported facts for, sorted, for
+// deterministic diagnostics and tests.
+func (s *FactStore) symbols(analyzer string) []string {
+	m := s.facts[analyzer]
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExportFact records a fact about the symbol on behalf of the pass's
+// analyzer. Facts exported while analyzing package A are visible to every
+// later-analyzed package that imports A.
+func (p *Pass) ExportFact(symbol string, fact any) {
+	p.facts.export(p.analyzer.Name, symbol, fact)
+}
+
+// ImportFact returns the pass's analyzer's fact about the symbol, if any
+// earlier-analyzed package (or this one) exported it.
+func (p *Pass) ImportFact(symbol string) (any, bool) {
+	return p.facts.imp(p.analyzer.Name, symbol)
+}
+
+// FactSymbols lists every symbol the pass's analyzer has exported a fact
+// for so far, sorted.
+func (p *Pass) FactSymbols() []string {
+	return p.facts.symbols(p.analyzer.Name)
+}
+
+// symbolKey renders a *types.Func as its stable cross-package key:
+// "time.Now", "repro/internal/core.Rabbit",
+// "(*repro/internal/experiments.Runner).Prefetch". Generic functions key
+// by their origin, so every instantiation shares one fact.
+func symbolKey(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return fn.FullName()
+}
+
+// shortSymbol trims the module path prefix from a symbol key for
+// human-readable diagnostics: "(*repro/internal/experiments.Runner).Prefetch"
+// becomes "(*experiments.Runner).Prefetch".
+func shortSymbol(key string) string {
+	repl := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if strings.HasPrefix(key, "(") {
+		if i := strings.Index(key, ")"); i > 0 {
+			recv := key[1:i]
+			star := strings.HasPrefix(recv, "*")
+			recv = strings.TrimPrefix(recv, "*")
+			if star {
+				return "(*" + repl(recv) + key[i:]
+			}
+			return "(" + repl(recv) + key[i:]
+		}
+	}
+	return repl(key)
+}
+
+// topoSort orders the loaded packages so every package appears after the
+// loaded packages it imports; ties keep the input (go list) order. The
+// facts layer depends on this: an importer's pass must run after its
+// dependencies have exported their facts.
+func topoSort(pkgs []*LoadedPackage) []*LoadedPackage {
+	byPath := make(map[string]*LoadedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var (
+		out     []*LoadedPackage
+		state   = make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+		visit   func(p *LoadedPackage)
+		imports = func(p *LoadedPackage) []*types.Package { return p.Types.Imports() }
+	)
+	visit = func(p *LoadedPackage) {
+		switch state[p.ImportPath] {
+		case 1, 2:
+			return // cycle (impossible in valid Go) or already emitted
+		}
+		state[p.ImportPath] = 1
+		for _, dep := range imports(p) {
+			if d, ok := byPath[dep.Path()]; ok {
+				visit(d)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}

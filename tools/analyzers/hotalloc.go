@@ -1,0 +1,134 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"sync"
+
+	"repro/tools/escape"
+)
+
+// HotAlloc verifies //repro:noalloc annotations against the compiler's
+// escape analysis: a function carrying the annotation must contain no
+// statement the compiler attributes a heap allocation to. The FastLRU
+// access path and the streaming-Belady inner loops claim 0 allocs/op —
+// today that claim is defended only by -benchmem numbers, which drift
+// silently when a refactor introduces an escape; this pass rejects the
+// escape at lint time.
+//
+// The annotation goes in the function's doc comment:
+//
+//	// Access touches one line ...
+//	//
+//	//repro:noalloc
+//	func (c *FastLRU) Access(line int64) bool { ... }
+//
+// Allocations in cold paths must live in separate (unannotated) functions
+// — the grow/spill helpers pattern — so the annotated body stays provably
+// allocation-free. Packages without any annotation never invoke the
+// compiler.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "verifies //repro:noalloc functions against escape analysis",
+	Run:  runHotAlloc,
+}
+
+// escapeAllocs is the escape-analysis hook, stubbed by the corpus tests;
+// the default shells out to the toolchain via tools/escape.
+var escapeAllocs = func(dir string) (map[string][]escape.Alloc, error) {
+	rep, err := escape.Analyze(dir)
+	if err != nil {
+		return nil, err
+	}
+	return rep.ByFile, nil
+}
+
+// escapeCache memoizes escape analysis per package directory, so the
+// compiler runs once per package no matter how many files carry
+// annotations.
+var escapeCache sync.Map // dir -> escapeResult
+
+type escapeResult struct {
+	byFile map[string][]escape.Alloc
+	err    error
+}
+
+func escapeFor(dir string) (map[string][]escape.Alloc, error) {
+	if v, ok := escapeCache.Load(dir); ok {
+		r := v.(escapeResult)
+		return r.byFile, r.err
+	}
+	byFile, err := escapeAllocs(dir)
+	escapeCache.Store(dir, escapeResult{byFile, err})
+	return byFile, err
+}
+
+func runHotAlloc(pass *Pass) {
+	type annotated struct {
+		decl *ast.FuncDecl
+		file string // absolute path
+	}
+	var funcs []annotated
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !hasAnnotation(fd.Doc, "repro:noalloc") {
+				continue
+			}
+			funcs = append(funcs, annotated{fd, pass.Fset.Position(fd.Pos()).Filename})
+		}
+	}
+	if len(funcs) == 0 {
+		return
+	}
+	byFile, err := escapeFor(pass.Dir)
+	if err != nil {
+		// One report per package, on the first annotated function: the
+		// annotation demands verification, and verification is broken.
+		pass.Reportf(funcs[0].decl.Name.Pos(), "cannot verify //repro:noalloc: %v", err)
+		return
+	}
+	for _, fn := range funcs {
+		start := pass.Fset.Position(fn.decl.Pos()).Line
+		end := pass.Fset.Position(fn.decl.End()).Line
+		for _, a := range byFile[fn.file] {
+			if a.Line < start || a.Line > end {
+				continue
+			}
+			pass.Reportf(posOnLine(pass.Fset, fn.decl, a.Line),
+				"heap allocation in //repro:noalloc function %s: %s (line %d)",
+				fn.decl.Name.Name, a.Message, a.Line)
+		}
+	}
+}
+
+// hasAnnotation reports whether the doc comment carries the given
+// //repro:* marker as its own line (an optional reason may follow after a
+// space).
+func hasAnnotation(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// posOnLine returns a position on the given line inside the declaration's
+// file, so diagnostics (and lint:allow suppressions) anchor to the
+// allocation, not the function header.
+func posOnLine(fset *token.FileSet, decl *ast.FuncDecl, line int) token.Pos {
+	tf := fset.File(decl.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return decl.Name.Pos()
+	}
+	return tf.LineStart(line)
+}

@@ -16,12 +16,18 @@ import (
 // LoadedPackage is one parsed and type-checked package plus the suppression
 // comments found in its files.
 type LoadedPackage struct {
+	// ImportPath is the package's import path as go list reports it.
 	ImportPath string
-	Dir        string
-	Fset       *token.FileSet
-	Files      []*ast.File
-	Types      *types.Package
-	Info       *types.Info
+	// Dir is the package's source directory.
+	Dir string
+	// Fset is the file set all position info resolves through.
+	Fset *token.FileSet
+	// Files holds the parsed non-test files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object maps.
+	Info *types.Info
 
 	// allowed maps file name -> line -> analyzer names suppressed there via
 	// `//lint:allow <name> [reason]` comments.

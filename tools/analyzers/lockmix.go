@@ -1,0 +1,300 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockMix flags inconsistent synchronization discipline on struct fields:
+//
+//   - a field read or written under a sibling sync.Mutex/RWMutex in some
+//     methods and touched with no lock held in others (the classic
+//     half-guarded race), and
+//   - a field accessed both through sync/atomic operations and with plain
+//     loads/stores (atomics only compose with atomics).
+//
+// Scope is deliberately the owning struct's own method set: cross-object
+// locking protocols (a Runner locking a MatrixData it owns) encode an
+// ownership contract this pass cannot see, and flagging them would drown
+// the real findings. Methods whose name ends in "Locked"/"locked" are
+// treated as lock-held helpers — the repository convention for bodies
+// whose caller owns the mutex.
+var LockMix = &Analyzer{
+	Name: "lockmix",
+	Doc:  "flags fields accessed both under a sibling mutex and without it, and mixed atomic/plain access",
+	Run:  runLockMix,
+}
+
+// fieldAccess is one touch of a struct field from one of its methods.
+type fieldAccess struct {
+	pos     token.Pos
+	method  string
+	guarded bool // the method locks (or is a *Locked helper)
+	write   bool
+	atomic  bool // via a sync/atomic call
+}
+
+func runLockMix(pass *Pass) {
+	owners := mutexOwners(pass)
+	if len(owners) == 0 {
+		return
+	}
+	accesses := make(map[*types.Var][]fieldAccess)
+	for _, key := range pass.Graph.Order {
+		node := pass.Graph.Nodes[key]
+		fd := node.Decl
+		if fd.Recv == nil {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		recv := obj.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		owner, ok := owners[namedOf(recv.Type())]
+		if !ok {
+			continue
+		}
+		guarded := takesLock(fd.Body) || lockedHelperName(fd.Name.Name)
+		collectFieldAccesses(pass, fd, owner, guarded, accesses)
+	}
+	reportLockMix(pass, owners, accesses)
+}
+
+// ownerInfo describes one struct type that embeds or declares a mutex.
+type ownerInfo struct {
+	name     string
+	fields   []*types.Var // non-mutex fields in declaration order
+	fieldSet map[*types.Var]bool
+}
+
+// mutexOwners finds the package's struct types that carry a mutex field,
+// keyed by their *types.TypeName.
+func mutexOwners(pass *Pass) map[*types.TypeName]*ownerInfo {
+	owners := make(map[*types.TypeName]*ownerInfo)
+	scope := pass.Pkg.Scope()
+	for _, nm := range scope.Names() {
+		tn, ok := scope.Lookup(nm).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		info := &ownerInfo{name: tn.Name(), fieldSet: make(map[*types.Var]bool)}
+		hasMutex := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isMutexType(f.Type()) {
+				hasMutex = true
+				continue
+			}
+			info.fields = append(info.fields, f)
+			info.fieldSet[f] = true
+		}
+		if hasMutex {
+			owners[tn] = info
+		}
+	}
+	return owners
+}
+
+// collectFieldAccesses records every touch of the owner's fields inside
+// one method body.
+func collectFieldAccesses(pass *Pass, fd *ast.FuncDecl, owner *ownerInfo, guarded bool, out map[*types.Var][]fieldAccess) {
+	writes := writeTargets(fd.Body)
+	atomicArgs := atomicCallArgs(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		f, ok := selection.Obj().(*types.Var)
+		if !ok || !owner.fieldSet[f] {
+			return true
+		}
+		out[f] = append(out[f], fieldAccess{
+			pos:     sel.Sel.Pos(),
+			method:  fd.Name.Name,
+			guarded: guarded,
+			write:   writes[sel],
+			atomic:  atomicArgs[sel],
+		})
+		return true
+	})
+}
+
+func reportLockMix(pass *Pass, owners map[*types.TypeName]*ownerInfo, accesses map[*types.Var][]fieldAccess) {
+	// Deterministic report order: owners by name, fields in declaration
+	// order.
+	ordered := make([]*ownerInfo, 0, len(owners))
+	for _, info := range owners {
+		ordered = append(ordered, info)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].name < ordered[j].name })
+	for _, info := range ordered {
+		for _, f := range info.fields {
+			accs := accesses[f]
+			if len(accs) == 0 {
+				continue
+			}
+			var guarded, unguarded, atomics, plain []fieldAccess
+			anyWrite := false
+			for _, a := range accs {
+				if a.write {
+					anyWrite = true
+				}
+				if a.atomic {
+					atomics = append(atomics, a)
+					continue
+				}
+				plain = append(plain, a)
+				if a.guarded {
+					guarded = append(guarded, a)
+				} else {
+					unguarded = append(unguarded, a)
+				}
+			}
+			switch {
+			case len(atomics) > 0 && len(plain) > 0:
+				a := plain[0]
+				pass.Reportf(a.pos,
+					"field %s of %s is accessed atomically elsewhere but with a plain load/store in %s; atomics only compose with atomics",
+					f.Name(), info.name, a.method)
+			case len(guarded) > 0 && len(unguarded) > 0 && anyWrite:
+				a := unguarded[0]
+				pass.Reportf(a.pos,
+					"field %s of %s is guarded by a mutex in %s but accessed without it in %s",
+					f.Name(), info.name, guarded[0].method, a.method)
+			}
+		}
+	}
+}
+
+// takesLock reports whether the body contains any Lock/RLock call — the
+// method participates in the locking discipline, so its field accesses
+// count as guarded.
+func takesLock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "Lock", "RLock":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// lockedHelperName reports whether the method name marks a
+// caller-holds-the-lock helper.
+func lockedHelperName(name string) bool {
+	return strings.HasSuffix(name, "Locked") || strings.HasSuffix(name, "locked")
+}
+
+// writeTargets collects the selector expressions that appear as store
+// targets: assignment left-hand sides, inc/dec operands, and
+// address-taken operands (the pointer may be written through).
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	targets := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			targets[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				mark(s.X)
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// atomicCallArgs collects selector expressions passed (by address) to
+// sync/atomic functions — accesses that are atomic rather than plain.
+func atomicCallArgs(pass *Pass, body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	atomics := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				atomics[sel] = true
+			}
+		}
+		return true
+	})
+	return atomics
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a pointer
+// to one.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// namedOf unwraps pointers and returns the type name of a named receiver
+// type, or nil.
+func namedOf(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -147,7 +147,7 @@ func sortedAfter(body *ast.BlockStmt, slice string, pos token.Pos) bool {
 			return true
 		}
 		switch calleeName(call) {
-		case "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Ints", "Stable":
+		case "Slice", "SliceStable", "Sort", "SortFunc", "SortStableFunc", "Ints", "Strings", "Float64s", "Stable":
 			if len(call.Args) >= 1 && identName(call.Args[0]) == slice {
 				found = true
 				return false

@@ -1,0 +1,12 @@
+package fix_ctxflow
+
+import "context"
+
+// Caller holds a context but calls the context-free core; the attached
+// fix rewrites the call to WorkCtx (see caller.go.golden).
+func Caller(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return Work(n) // want "drops ctx"
+}

@@ -1,0 +1,44 @@
+// Package fix_ctxflow holds the ctxflow corpus cases: a dropped context
+// parameter, a fresh context in a library, the compatibility-shim
+// exemption, and a waiver. The fixable Ctx-variant case lives in
+// caller.go (its golden rewrite is caller.go.golden).
+package fix_ctxflow
+
+import "context"
+
+// Work is the context-free core.
+func Work(n int) int { return n }
+
+// WorkCtx is the cancellable variant of Work.
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Dropped promises cancellation but never reads its context.
+func Dropped(ctx context.Context, n int) int { // want "never used"
+	return n
+}
+
+// Fresh mints a context inside a library function for no reason.
+func Fresh(n int) int {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+	return n
+}
+
+// Shim is the compatibility wrapper shape: context-free, delegating to
+// the Ctx variant — its Background call is exempt.
+func Shim(n int) int {
+	return WorkCtx(context.Background(), n)
+}
+
+// Detached severs cancellation deliberately, under a waiver.
+func Detached(n int) int {
+	//lint:allow ctxflow fixture exercises suppression
+	ctx := context.Background()
+	_ = ctx
+	return n
+}

@@ -1,0 +1,77 @@
+// Package use holds the detsource corpus cases: local sources, a
+// transitive cross-package fact, goroutine fan-in, a deterministic
+// negative, and a waiver.
+package use
+
+import (
+	"sort"
+	"time"
+
+	"detfix/dep"
+)
+
+// Clock reads the wall clock directly.
+//
+//repro:deterministic
+func Clock() int64 { // want "reads the wall clock"
+	return time.Now().UnixNano()
+}
+
+// Transitive reaches the unseeded generator only through an imported
+// package; the finding rides on dep's exported fact.
+//
+//repro:deterministic
+func Transitive() int { // want "unseeded global generator"
+	return dep.Draw()
+}
+
+// FanIn spawns a goroutine that writes a captured variable with no
+// ordering step.
+//
+//repro:deterministic
+func FanIn(xs []int) int { // want "shared variable"
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total = len(xs)
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Sorted collects map keys and sorts them — deterministic, no finding.
+//
+//repro:deterministic
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Indexed fans out with slot-owned stores — deterministic, no finding.
+//
+//repro:deterministic
+func Indexed(xs []int) []int {
+	out := make([]int, len(xs))
+	done := make(chan struct{})
+	go func() {
+		for i, x := range xs {
+			out[i] = x * 2
+		}
+		close(done)
+	}()
+	<-done
+	return out
+}
+
+// Waived reads the wall clock under a suppression comment.
+//
+//repro:deterministic
+//lint:allow detsource fixture exercises suppression
+func Waived() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,11 @@
+// Package dep exports a function whose nondeterminism the facts layer
+// must carry into importing packages: nothing here is annotated, so the
+// package produces no findings of its own — only facts.
+package dep
+
+import "math/rand"
+
+// Draw pulls from the unseeded global generator.
+func Draw() int {
+	return rand.Int()
+}

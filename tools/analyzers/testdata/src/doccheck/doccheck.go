@@ -1,0 +1,8 @@
+// Package fix_doccheck is the doccheck corpus case: an exported symbol
+// with no doc comment in a contract package.
+package fix_doccheck
+
+// Documented has a doc comment and is not flagged.
+func Documented() {}
+
+func Undocumented() {} // want "has no doc comment"

@@ -1,0 +1,19 @@
+// Package fix_floatcmp is the floatcmp corpus case: exact float equality
+// without an epsilon.
+package fix_floatcmp
+
+// Same compares floats exactly — the canonical finding.
+func Same(a, b float64) bool {
+	return a == b // want "float == comparison"
+}
+
+// SameZero compares against constant zero, which is exempt.
+func SameZero(a float64) bool {
+	return a == 0
+}
+
+// SameAllowed is the waived variant.
+func SameAllowed(a, b float64) bool {
+	//lint:allow floatcmp fixture exercises suppression
+	return a == b
+}

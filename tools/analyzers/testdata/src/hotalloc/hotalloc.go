@@ -1,0 +1,28 @@
+// Package fix_hotalloc holds the hotalloc corpus cases. The corpus
+// runner stubs the escape hook from the "// alloc:" markers below, so no
+// compiler runs; the analyzer's line matching and suppression behaviour
+// are what is under test.
+package fix_hotalloc
+
+// Hot claims zero allocations but the (stubbed) escape analysis reports
+// one inside its body — the canonical finding.
+//
+//repro:noalloc
+func Hot(n int) []int {
+	out := make([]int, n) // alloc: make([]int, n) escapes to heap // want "heap allocation"
+	return out
+}
+
+// Cold is unannotated: the marker on its allocation must not surface.
+func Cold(n int) []int {
+	return make([]int, n) // alloc: make([]int, n) escapes to heap
+}
+
+// Waived is annotated but its allocation carries a suppression comment.
+//
+//repro:noalloc
+func Waived(n int) []int {
+	//lint:allow hotalloc fixture exercises suppression
+	out := make([]int, n) // alloc: make([]int, n) escapes to heap
+	return out
+}

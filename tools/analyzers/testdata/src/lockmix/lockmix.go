@@ -1,0 +1,53 @@
+// Package fix_lockmix holds the lockmix corpus cases: a field guarded in
+// one method and bare in another, a field mixing atomic and plain access,
+// and clean locking discipline as the negative.
+package fix_lockmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes synchronization disciplines across its methods.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	a  int64
+	ok int
+}
+
+// Add increments n under the lock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Reset writes n with no lock held — the mutex-mix finding.
+func (c *Counter) Reset() {
+	c.n = 0 // want "without it"
+}
+
+// Bump updates a atomically.
+func (c *Counter) Bump() {
+	atomic.AddInt64(&c.a, 1)
+}
+
+// Peek reads a with a plain load — the atomic-mix finding.
+func (c *Counter) Peek() int64 {
+	return c.a // want "atomically elsewhere"
+}
+
+// Guarded only ever touches ok under the lock — no finding.
+func (c *Counter) Guarded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ok++
+	return c.ok
+}
+
+// resetLocked is a caller-holds-the-lock helper; its bare write to ok is
+// treated as guarded by convention.
+func (c *Counter) resetLocked() {
+	c.ok = 0
+}

@@ -1,0 +1,22 @@
+// Package fix_mapiter is the mapiter corpus case: keys collected from a
+// map range and never sorted leak iteration order.
+package fix_mapiter
+
+// Keys returns the map's keys in arbitrary order — the canonical finding.
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Allowed is the same shape under a suppression comment.
+func Allowed(m map[int]int) []int {
+	var out []int
+	//lint:allow mapiter fixture exercises suppression
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+// Package fix_permreturn is the permreturn corpus case: an exported
+// producer returning a Permutation that never passes validation.
+package fix_permreturn
+
+// Permutation mirrors the repository's permutation type by name.
+type Permutation []int32
+
+// Identity returns an unvalidated permutation — the canonical finding.
+func Identity(n int) Permutation { // want "never validated"
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return p
+}
+
+// Checked routes the result through a validation callee and is accepted.
+func Checked(n int) Permutation {
+	p := make(Permutation, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	ValidPermutation(p)
+	return p
+}
+
+// ValidPermutation stands in for the repository's check helper.
+func ValidPermutation(p Permutation) bool { return len(p) >= 0 }

@@ -1,0 +1,21 @@
+// Package fix_uncheckedcast is the uncheckedcast corpus case: an int32
+// narrowing of a dynamically sized value with no overflow guard.
+package fix_uncheckedcast
+
+// Size narrows a length without a guard — the canonical finding.
+func Size(xs []int) int32 {
+	return int32(len(xs)) // want "unguarded int32"
+}
+
+// SizeGuarded mentions the guard helper, so the cast is accepted.
+func SizeGuarded(xs []int) int32 {
+	return FitsInt32(len(xs))
+}
+
+// FitsInt32 is the guard helper; the raw cast inside it is exempt.
+func FitsInt32(n int) int32 {
+	if n < 0 || n > 1<<31-1 {
+		panic("out of range")
+	}
+	return int32(n)
+}

@@ -1,0 +1,103 @@
+// Package escape runs the Go compiler's escape analysis over a package
+// and parses the -gcflags=-m diagnostics into per-file heap-allocation
+// records. The hotalloc analyzer uses it to verify //repro:noalloc
+// annotations statically: a function whose line range contains a heap
+// allocation cannot honour a zero-allocs-per-op contract.
+//
+// The package shells out to `go build` (the toolchain is a hard
+// prerequisite of the analyzer driver anyway); repeat runs replay the
+// cached compiler output, so the steady-state cost is one subprocess, not
+// one compile.
+package escape
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Alloc is one heap allocation the compiler's escape analysis attributes
+// to a source position.
+type Alloc struct {
+	// File is the absolute path of the file containing the allocation.
+	File string
+	// Line and Col are the allocation's 1-based source position.
+	Line, Col int
+	// Message is the compiler's diagnostic, e.g. "make([]int64, size)
+	// escapes to heap" or "moved to heap: out".
+	Message string
+}
+
+// Report holds every heap allocation of one package keyed by absolute
+// file path.
+type Report struct {
+	// ByFile maps absolute file paths to their allocations in line order.
+	ByFile map[string][]Alloc
+}
+
+// diagLine matches one compiler diagnostic: "./fast.go:62:13: message".
+var diagLine = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// Analyze compiles the package rooted at dir with -gcflags=-m=1 and
+// returns its heap allocations. Diagnostics that cannot allocate at run
+// time are dropped:
+//
+//   - "can inline"/"inlining call"/"leaking param" chatter (not
+//     allocations at all), and
+//   - constant string literals "escaping" into interfaces (panic
+//     messages); their backing data is static.
+//
+// Allocation sites on lines that execute conditionally (error branches)
+// are still reported — a //repro:noalloc function must keep its failure
+// handling outside the annotated body.
+func Analyze(dir string) (*Report, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=1", ".")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("escape: go build -gcflags=-m in %s: %v\n%s", dir, err, out.String())
+	}
+	rep := &Report{ByFile: make(map[string][]Alloc)}
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := diagLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !isAllocation(msg) {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		file = filepath.Clean(file)
+		rep.ByFile[file] = append(rep.ByFile[file], Alloc{
+			File: file, Line: ln, Col: col, Message: msg,
+		})
+	}
+	return rep, nil
+}
+
+// isAllocation reports whether the -m diagnostic describes a run-time
+// heap allocation.
+func isAllocation(msg string) bool {
+	switch {
+	case strings.HasPrefix(msg, "moved to heap: "):
+		return true
+	case strings.HasSuffix(msg, "escapes to heap"):
+		// A constant string literal boxed into an interface (a panic
+		// argument, typically) has static backing data and performs no
+		// run-time allocation.
+		return !strings.HasPrefix(msg, `"`) && !strings.HasPrefix(msg, "`")
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package escape
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestIsAllocation(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want bool
+	}{
+		{"moved to heap: out", true},
+		{"make([]int64, size) escapes to heap", true},
+		{"&Dense{...} escapes to heap", true},
+		{`"cachesim: negative line ID" escapes to heap`, false}, // static string data
+		{"`raw constant` escapes to heap", false},
+		{"can inline (*FastLRU).setOf", false},
+		{"inlining call to (*FastLRU).setOf", false},
+		{"leaking param: a", false},
+	}
+	for _, c := range cases {
+		if got := isAllocation(c.msg); got != c.want {
+			t.Errorf("isAllocation(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestDiagLine(t *testing.T) {
+	m := diagLine.FindStringSubmatch("./fast.go:62:13: make([]int32, n) escapes to heap")
+	if m == nil {
+		t.Fatal("diagLine did not match a canonical -m line")
+	}
+	if m[1] != "./fast.go" || m[2] != "62" || m[3] != "13" {
+		t.Errorf("parsed %q, %q, %q", m[1], m[2], m[3])
+	}
+	if diagLine.MatchString("# repro/internal/cachesim") {
+		t.Error("diagLine matched a package header line")
+	}
+}
+
+// TestAnalyzeKernels runs the real compiler over internal/kernels and
+// checks the report's shape: paths absolute, lines positive, and no
+// allocation attributed to the //repro:noalloc cores (the same invariant
+// the hotalloc gate enforces).
+func TestAnalyzeKernels(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "kernels"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(dir)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", dir, err)
+	}
+	for file, allocs := range rep.ByFile {
+		if !filepath.IsAbs(file) {
+			t.Errorf("report key %q is not absolute", file)
+		}
+		for _, a := range allocs {
+			if a.Line <= 0 || a.File != file {
+				t.Errorf("malformed alloc record %+v under %s", a, file)
+			}
+		}
+	}
+}
