@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	reorder -in a.mtx -out b.mtx [-technique RABBIT++] [-perm p.txt] [-stats]
+//	reorder -in a.mtx -out b.mtx [-technique RABBIT++] [-workers N] [-perm p.txt] [-stats]
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +28,13 @@ func main() {
 
 func run() error {
 	var (
-		in    = flag.String("in", "", "input MatrixMarket file (required)")
-		out   = flag.String("out", "", "output MatrixMarket file (required)")
-		tech  = flag.String("technique", "RABBIT++", "reordering technique (see -list)")
-		perm  = flag.String("perm", "", "also write the old->new permutation, one entry per line")
-		stats = flag.Bool("stats", false, "print community-quality statistics")
-		list  = flag.Bool("list", false, "list available techniques and exit")
+		in      = flag.String("in", "", "input MatrixMarket file (required)")
+		out     = flag.String("out", "", "output MatrixMarket file (required)")
+		tech    = flag.String("technique", "RABBIT++", "reordering technique (see -list)")
+		perm    = flag.String("perm", "", "also write the old->new permutation, one entry per line")
+		stats   = flag.Bool("stats", false, "print community-quality statistics")
+		list    = flag.Bool("list", false, "list available techniques and exit")
+		workers = flag.Int("workers", 1, "goroutines for parallel techniques (result is identical at any count)")
 	)
 	flag.Parse()
 	if *list {
@@ -63,7 +65,10 @@ func run() error {
 	}
 
 	start := time.Now()
-	p := t.Order(m)
+	p, err := reorder.OrderWith(context.Background(), t, m, reorder.Options{Workers: *workers})
+	if err != nil {
+		return fmt.Errorf("%s: %w", t.Name(), err)
+	}
 	elapsed := time.Since(start)
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("%s produced an invalid permutation: %w", t.Name(), err)

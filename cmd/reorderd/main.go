@@ -24,6 +24,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,6 +54,7 @@ func run() error {
 		maxRows    = flag.Int("max-rows", 1<<22, "maximum declared rows/cols in an upload")
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on per-request compute deadlines")
 		preset     = flag.String("preset", gen.Small.String(), "corpus preset for ?matrix= references (small|full)")
+		orderW     = flag.Int("order-workers", 1, "intra-job goroutines for parallel techniques (results identical at any count)")
 		smoke      = flag.Bool("smoke", false, "run an in-process self-test and exit")
 	)
 	flag.Parse()
@@ -72,6 +74,7 @@ func run() error {
 		MaxRows:      check.SafeInt32(*maxRows),
 		MaxJobTime:   *maxTimeout,
 		Preset:       p,
+		OrderWorkers: *orderW,
 	}
 	if *smoke {
 		return runSmoke(cfg)
@@ -192,6 +195,26 @@ func runSmoke(cfg serve.Config) error {
 		return fmt.Errorf("auto permutation: %w", err)
 	}
 
+	// Sweep every registered technique, with the list fetched from the
+	// service itself (/techniques) rather than hardcoded, so a technique
+	// added to the reorder registry is exercised here automatically.
+	names, err := fetchTechniques(base)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("/techniques returned no techniques")
+	}
+	for _, name := range names {
+		var reply serveReply
+		if err := postReorderTech(base, url.QueryEscape(name), body, &reply); err != nil {
+			return fmt.Errorf("technique %s: %w", name, err)
+		}
+		if err := validatePerm(reply.Permutation, m.NumRows); err != nil {
+			return fmt.Errorf("technique %s: %w", name, err)
+		}
+	}
+
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		return err
@@ -246,6 +269,30 @@ type serveReply struct {
 
 func postReorder(base string, body []byte, out *serveReply) error {
 	return postReorderTech(base, "RABBIT", body, out)
+}
+
+// fetchTechniques asks the running service for its registered technique
+// names (excluding pseudo-techniques like "auto").
+func fetchTechniques(base string) ([]string, error) {
+	resp, err := http.Get(base + "/techniques")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("techniques: status %d: %s", resp.StatusCode, payload)
+	}
+	var reply struct {
+		Techniques []string `json:"techniques"`
+	}
+	if err := json.Unmarshal(payload, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Techniques, nil
 }
 
 func postReorderTech(base, technique string, body []byte, out *serveReply) error {

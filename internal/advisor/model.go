@@ -11,10 +11,11 @@ import (
 
 // Candidates returns the technique names the advisor chooses among, in the
 // tie-break order used everywhere (oracle computation, rule ranking):
-// the two cheap degree passes, plain community ordering, and the two hub
-// treatments the paper evaluates in Table II.
+// the two cheap degree passes, plain community ordering, the two hub
+// treatments the paper evaluates in Table II, and the parallel tier
+// (BOBA's sort-free first-touch pass and the bi-criteria RCM++).
 func Candidates() []string {
-	return []string{"DEGSORT", "DBG", "RABBIT", "RABBIT++", "HUBGROUP"}
+	return []string{"DEGSORT", "DBG", "RABBIT", "RABBIT++", "HUBGROUP", "BOBA", "RCM++"}
 }
 
 // Model ranks candidate techniques for a feature vector.
@@ -122,14 +123,19 @@ func (r RuleModel) Rank(f Features) []Scored {
 	if insT == 0 {
 		insT = 0.95
 	}
+	// The parallel-tier techniques trail each branch: BOBA is a locality
+	// pass without hub or community awareness, and RCM++ optimizes
+	// bandwidth rather than the reuse distance the rule targets, so the
+	// rule never prefers them — they earn their place via the trained
+	// model when the measured miss rate says so.
 	var order []string
 	switch {
 	case f.DegreeSkew >= skewT:
-		order = []string{"RABBIT++", "HUBGROUP", "RABBIT", "DBG", "DEGSORT"}
+		order = []string{"RABBIT++", "HUBGROUP", "RABBIT", "DBG", "DEGSORT", "BOBA", "RCM++"}
 	case f.InsularityEst >= insT:
-		order = []string{"RABBIT", "RABBIT++", "HUBGROUP", "DBG", "DEGSORT"}
+		order = []string{"RABBIT", "RABBIT++", "HUBGROUP", "DBG", "DEGSORT", "BOBA", "RCM++"}
 	default:
-		order = []string{"DBG", "DEGSORT", "RABBIT++", "RABBIT", "HUBGROUP"}
+		order = []string{"DBG", "DEGSORT", "RABBIT++", "RABBIT", "HUBGROUP", "BOBA", "RCM++"}
 	}
 	ranked := make([]Scored, len(order))
 	for i, t := range order {

@@ -1,0 +1,61 @@
+package community
+
+import "testing"
+
+// TestShardsPartition verifies the decomposition invariants the parallel
+// tier leans on: shards exactly tile [0, n) in order, sizes differ by at
+// most one, and the boundaries are a pure function of n (two calls agree).
+func TestShardsPartition(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 255, 256, 257, 1200, 16384, 100000} {
+		shards := Shards(n)
+		if n <= 0 {
+			if shards != nil {
+				t.Fatalf("Shards(%d) = %v, want nil", n, shards)
+			}
+			continue
+		}
+		var lo int32
+		minSize, maxSize := n, int32(0)
+		for i, s := range shards {
+			if s.Lo != lo {
+				t.Fatalf("Shards(%d)[%d].Lo = %d, want %d", n, i, s.Lo, lo)
+			}
+			if s.Len() <= 0 {
+				t.Fatalf("Shards(%d)[%d] is empty", n, i)
+			}
+			if s.Len() < minSize {
+				minSize = s.Len()
+			}
+			if s.Len() > maxSize {
+				maxSize = s.Len()
+			}
+			lo = s.Hi
+		}
+		if lo != n {
+			t.Fatalf("Shards(%d) covers [0,%d), want [0,%d)", n, lo, n)
+		}
+		if maxSize-minSize > 1 {
+			t.Fatalf("Shards(%d): sizes range %d..%d, want spread <= 1", n, minSize, maxSize)
+		}
+		if len(shards) > shardMaxCount {
+			t.Fatalf("Shards(%d) = %d shards, cap is %d", n, len(shards), shardMaxCount)
+		}
+		again := Shards(n)
+		for i := range shards {
+			if shards[i] != again[i] {
+				t.Fatalf("Shards(%d) not stable across calls at shard %d", n, i)
+			}
+		}
+	}
+}
+
+// TestShardsSplitLargeInputs pins that inputs past the split threshold
+// actually decompose — the parallel tier is pointless on one shard.
+func TestShardsSplitLargeInputs(t *testing.T) {
+	if got := len(Shards(1200)); got < 2 {
+		t.Fatalf("Shards(1200) = %d shards, want several", got)
+	}
+	if got := len(Shards(200)); got != 1 {
+		t.Fatalf("Shards(200) = %d shards, want 1", got)
+	}
+}

@@ -209,29 +209,8 @@ func RabbitResolutionCtx(ctx context.Context, m *sparse.CSR, gamma float64) (*Ra
 		adj[v] = nil
 	}
 
-	// Depth-first traversal of the dendrogram forest: roots in ascending
-	// ID order, children in merge order. Iterative DFS with an explicit
-	// stack (children pushed in reverse so they pop in merge order).
-	newOrder := make([]int32, 0, n)
-	stack := make([]int32, 0, 64)
-	for v := int32(0); v < n; v++ {
-		if parent[v] != -1 {
-			continue
-		}
-		stack = append(stack[:0], v)
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			newOrder = append(newOrder, x)
-			kids := children[x]
-			for i := len(kids) - 1; i >= 0; i-- {
-				stack = append(stack, kids[i])
-			}
-		}
-	}
-
 	return &RabbitResult{
-		Perm:        check.Perm(sparse.FromNewOrder(newOrder)),
+		Perm:        check.Perm(sparse.FromNewOrder(dendrogramOrder(n, parent, children))),
 		Communities: community.FromLabels(uf.Labels()),
 		Parent:      parent,
 		Children:    children,

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/reorder"
+)
+
+// TestTableIVCoversRegistry is the registry-coverage gate wired into
+// scripts/check.sh: every technique registered in reorder.All() must
+// appear in the Table IV experiment corpus, so a newly added technique
+// cannot ship without kernel-generality rows. It compares name sets (not
+// just lengths) to catch renames and duplicates too.
+func TestTableIVCoversRegistry(t *testing.T) {
+	inTable := make(map[string]bool)
+	for _, tech := range TableIVTechniques() {
+		if inTable[tech.Name()] {
+			t.Errorf("Table IV lists technique %s twice", tech.Name())
+		}
+		inTable[tech.Name()] = true
+	}
+	registered := make(map[string]bool)
+	for _, tech := range reorder.All() {
+		registered[tech.Name()] = true
+		if !inTable[tech.Name()] {
+			t.Errorf("registered technique %s missing from the Table IV corpus", tech.Name())
+		}
+	}
+	for name := range inTable {
+		if !registered[name] {
+			t.Errorf("Table IV technique %s is not in the reorder registry", name)
+		}
+	}
+}

@@ -142,8 +142,12 @@ func bipartition(g *graph, subset []int32, opts Options) []byte {
 	cur := sub
 	for cur.n > opts.CoarsestSize {
 		lvl := coarsen(cur)
-		if lvl.coarse.n >= cur.n {
-			break // matching made no progress (e.g. no edges)
+		// Stop when matching stalls (< 10% shrink). Without this guard a
+		// level that collapses only a handful of pairs — isolated vertices,
+		// or adversarial structures two-hop matching cannot pair — would
+		// add O(n) levels and turn coarsening quadratic.
+		if int64(lvl.coarse.n)*10 > int64(cur.n)*9 {
+			break
 		}
 		levels = append(levels, lvl)
 		cur = lvl.coarse
@@ -203,9 +207,14 @@ type coarseLevel struct {
 	coarseOf []int32
 }
 
-// coarsen performs heavy-edge matching: each unmatched vertex matches with
-// its heaviest-edge unmatched neighbor, and matched pairs collapse into
-// coarse vertices.
+// coarsen collapses matched vertex pairs into coarse vertices. Matching
+// runs in two phases: heavy-edge matching (each unmatched vertex pairs
+// with its heaviest-edge unmatched neighbor), then a two-hop pass that
+// pairs leftover vertices sharing a neighbor. The second phase is what
+// keeps hub-heavy graphs coarsening: on a star, HEM matches the hub with
+// one leaf and strands every other leaf as a singleton, shrinking the
+// graph by ~1 vertex per level — O(n) levels instead of O(log n). Pairing
+// leaves through their shared hub restores the ~n/2 shrink.
 func coarsen(g *graph) *coarseLevel {
 	match := make([]int32, g.n)
 	for i := range match {
@@ -222,8 +231,6 @@ func coarsen(g *graph) *coarseLevel {
 		db := g.offsets[order[b]+1] - g.offsets[order[b]]
 		return da < db
 	})
-	coarseOf := make([]int32, g.n)
-	var nc int32
 	for _, v := range order {
 		if match[v] != -1 {
 			continue
@@ -237,16 +244,50 @@ func coarsen(g *graph) *coarseLevel {
 				best = u
 			}
 		}
-		if best == -1 {
-			match[v] = v
-			coarseOf[v] = nc
-			nc++
+		if best != -1 {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	// Two-hop matching over the leftovers: slot[u] remembers the last
+	// still-unmatched vertex seen adjacent to u; the next unmatched vertex
+	// that reaches u pairs with it. One O(E) sweep, deterministic because
+	// it follows the same degree order.
+	slot := make([]int32, g.n)
+	for i := range slot {
+		slot[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
 			continue
 		}
-		match[v] = best
-		match[best] = v
+		for e := g.offsets[v]; e < g.offsets[v+1]; e++ {
+			u := g.nbr[e]
+			if w := slot[u]; w != -1 && w != v && match[w] == -1 {
+				match[v] = w
+				match[w] = v
+				slot[u] = -1
+				break
+			}
+			slot[u] = v
+		}
+	}
+	// Assign coarse IDs in visit order; anything still unmatched collapses
+	// to a singleton.
+	coarseOf := make([]int32, g.n)
+	for i := range coarseOf {
+		coarseOf[i] = -1
+	}
+	var nc int32
+	for _, v := range order {
+		if coarseOf[v] != -1 {
+			continue
+		}
+		if match[v] == -1 {
+			match[v] = v
+		}
 		coarseOf[v] = nc
-		coarseOf[best] = nc
+		coarseOf[match[v]] = nc
 		nc++
 	}
 	// Build the coarse graph by aggregating edges.

@@ -1,0 +1,141 @@
+package reorder
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/community"
+	"repro/internal/sparse"
+)
+
+// Boba implements BOBA-style sort-free parallel reordering (arXiv
+// 2306.10410): vertices receive new IDs in order of their first appearance
+// as a destination while the nonzeros are scanned in row-major order, and
+// vertices that never appear as a destination are appended in ascending
+// ID order. No comparison sort runs anywhere, which is the point — the
+// cost is one O(nnz) scan, cheap enough to amortize after a single kernel
+// sweep.
+//
+// Parallelization splits the rows into the stable chunks of
+// community.Shards; each worker collects the chunk-local first-appearance
+// list for its chunks (dedup within the chunk via an epoch-stamped seen
+// array), and a sequential pass walks the chunks in order assigning IDs to
+// vertices not yet claimed by an earlier chunk. Chunk boundaries depend
+// only on the row count, the per-chunk lists land in chunk-owned slots,
+// and the cross-chunk dedup is sequential — so the permutation is
+// byte-identical at every worker count.
+type Boba struct{}
+
+// Name implements Technique.
+func (Boba) Name() string { return "BOBA" }
+
+// Order implements Technique (the Workers=1 path).
+func (b Boba) Order(m *sparse.CSR) sparse.Permutation {
+	// A background context never cancels, so the error path is unreachable.
+	p, _ := b.OrderParallelCtx(context.Background(), m, Options{})
+	return check.Perm(p)
+}
+
+// OrderCtx implements OrdererCtx as the single-worker parallel path.
+func (b Boba) OrderCtx(ctx context.Context, m *sparse.CSR) (sparse.Permutation, error) {
+	p, err := b.OrderParallelCtx(ctx, m, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return check.Perm(p), nil
+}
+
+// bobaChunk is one chunk's contribution: the distinct destination vertices
+// of the chunk's rows in first-appearance order, plus the cancellation
+// error, if any. Each chunk writes only its own slot.
+type bobaChunk struct {
+	firsts []int32
+	err    error
+}
+
+// OrderParallelCtx implements ParallelOrderer.
+func (Boba) OrderParallelCtx(ctx context.Context, m *sparse.CSR, opts Options) (sparse.Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := m.NumRows
+	chunks := community.Shards(n)
+	workers := opts.workers()
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+
+	locals := make([]bobaChunk, len(chunks))
+	if len(chunks) > 0 {
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				// Chunk-local dedup: a worker reuses one stamp array across
+				// its chunks, bumping the epoch per chunk.
+				stamp := make([]int32, n)
+				for i := range stamp {
+					stamp[i] = -1
+				}
+				for si := wi; si < len(chunks); si += workers {
+					locals[si] = bobaScanChunk(ctx, m, chunks[si], stamp, int32(si))
+				}
+			}(wi)
+		}
+		wg.Wait()
+	}
+	for _, lc := range locals {
+		if lc.err != nil {
+			return nil, lc.err
+		}
+	}
+
+	// Sequential merge in chunk order: first chunk to mention a vertex
+	// names it.
+	assigned := make([]bool, n)
+	order := make([]int32, 0, n)
+	for si, lc := range locals {
+		if si%16 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range lc.firsts {
+			if !assigned[c] {
+				assigned[c] = true
+				order = append(order, c)
+			}
+		}
+	}
+	for v := int32(0); v < n; v++ {
+		if !assigned[v] {
+			order = append(order, v)
+		}
+	}
+	return check.Perm(sparse.FromNewOrder(order)), nil
+}
+
+// bobaScanChunk scans one chunk's rows in order and returns the distinct
+// column indices in first-appearance order. stamp is the caller-owned
+// epoch array (stamp[v] == epoch means v was already seen in this chunk).
+func bobaScanChunk(ctx context.Context, m *sparse.CSR, ch community.Shard, stamp []int32, epoch int32) bobaChunk {
+	var out bobaChunk
+	for v := ch.Lo; v < ch.Hi; v++ {
+		if (v-ch.Lo)%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				out.err = err
+				return out
+			}
+		}
+		cols, _ := m.Row(v)
+		for _, c := range cols {
+			if stamp[c] != epoch {
+				stamp[c] = epoch
+				out.firsts = append(out.firsts, c)
+			}
+		}
+	}
+	return out
+}

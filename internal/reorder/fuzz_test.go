@@ -1,0 +1,88 @@
+package reorder
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sparse"
+)
+
+// fuzzMatrix decodes a byte string into a small square CSR: the first byte
+// picks the dimension, the rest is consumed pairwise as edges (the same
+// encoding internal/core's fuzz targets use).
+func fuzzMatrix(data []byte) *sparse.CSR {
+	if len(data) == 0 {
+		return sparse.NewCOO(0, 0, 0).ToCSR()
+	}
+	n := int32(data[0]%48) + 1
+	data = data[1:]
+	coo := sparse.NewCOO(n, n, len(data)/2)
+	for len(data) >= 2 {
+		r := int32(data[0]) % n
+		c := int32(data[1]) % n
+		data = data[2:]
+		coo.Add(r, c, 1)
+	}
+	return coo.ToCSR()
+}
+
+// fuzzParallel drives one parallel technique on an arbitrary small graph:
+// the permutation must be a valid bijection at an arbitrary worker count
+// and byte-identical to the workers=1 reference — the fuzz-shaped version
+// of the worker-count determinism matrix. The worker byte deliberately
+// ranges past NumCPU so over-subscription is fuzzed too.
+func fuzzParallel(t *testing.T, po ParallelOrderer, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	workers := int(data[0]%8) + 1
+	data = data[1:]
+	if len(data) > 512 {
+		data = data[:512]
+	}
+	m := fuzzMatrix(data)
+	ref, err := po.OrderParallelCtx(context.Background(), m, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", po.Name(), err)
+	}
+	if err := check.ValidPermutation(ref); err != nil {
+		t.Fatalf("%s: invalid permutation: %v", po.Name(), err)
+	}
+	if len(ref) != int(m.NumRows) {
+		t.Fatalf("%s: permutation size %d for %d rows", po.Name(), len(ref), m.NumRows)
+	}
+	p, err := po.OrderParallelCtx(context.Background(), m, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", po.Name(), workers, err)
+	}
+	for i := range p {
+		if p[i] != ref[i] {
+			t.Fatalf("%s: workers=%d diverges from workers=1 at vertex %d", po.Name(), workers, i)
+		}
+	}
+}
+
+// FuzzBobaValidPermutation fuzzes the BOBA first-touch pass: CSR from
+// fuzz bytes → orderer → check.ValidPermutation, plus worker-count
+// equivalence.
+func FuzzBobaValidPermutation(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{7, 48, 7, 7, 7, 8, 8, 7, 1, 2, 3, 4, 5, 6, 40, 41, 41, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzParallel(t, Boba{}, data)
+	})
+}
+
+// FuzzRCMPPValidPermutation fuzzes the bi-criteria RCM++: CSR from fuzz
+// bytes → orderer → check.ValidPermutation, plus worker-count
+// equivalence.
+func FuzzRCMPPValidPermutation(f *testing.F) {
+	f.Add([]byte{1})
+	f.Add([]byte{3, 4, 0, 1, 1, 2, 2, 3, 3, 0})
+	f.Add([]byte{7, 48, 7, 7, 7, 8, 8, 7, 1, 2, 3, 4, 5, 6, 40, 41, 41, 40})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzParallel(t, RCMPP{}, data)
+	})
+}

@@ -1,0 +1,267 @@
+package reorder
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/check"
+	"repro/internal/sparse"
+)
+
+// rcmppMaxCandidates bounds how many last-level vertices the bi-criteria
+// finder evaluates per iteration (the lowest-degree ones, ties broken by
+// ascending ID). RCM++ shows a small candidate set already recovers most
+// of the bandwidth win; the cap keeps the finder O(candidates · nnz).
+const rcmppMaxCandidates = 8
+
+// rcmppMaxIterations bounds the pseudo-peripheral iteration; in practice
+// eccentricity stops growing after a handful of hops.
+const rcmppMaxIterations = 16
+
+// RCMPP implements RCM++ (arXiv 2409.04171): the RCM BFS of this package
+// preceded by a bi-criteria starting-node finder. Instead of starting each
+// component at its minimum-degree vertex, the finder runs a George–Liu
+// pseudo-peripheral iteration whose candidate step evaluates the
+// lowest-degree vertices of the last BFS level by BOTH criteria — maximize
+// BFS height (level count), tie-break by minimizing width (largest level),
+// then by minimum ID. Deeper, narrower level structures directly bound the
+// resulting bandwidth, which plain min-degree starts often miss.
+//
+// The candidate evaluations are independent BFS traversals and run across
+// Options.Workers goroutines; each candidate's (height, width) lands in
+// its own slot and the winner is chosen by a sequential scan in candidate
+// order, so the chosen start — and therefore the permutation — is
+// byte-identical at every worker count.
+type RCMPP struct{}
+
+// Name implements Technique.
+func (RCMPP) Name() string { return "RCM++" }
+
+// Order implements Technique (the Workers=1 path).
+func (r RCMPP) Order(m *sparse.CSR) sparse.Permutation {
+	// A background context never cancels, so the error path is unreachable.
+	p, _ := r.OrderParallelCtx(context.Background(), m, Options{})
+	return check.Perm(p)
+}
+
+// OrderCtx implements OrdererCtx as the single-worker parallel path.
+func (r RCMPP) OrderCtx(ctx context.Context, m *sparse.CSR) (sparse.Permutation, error) {
+	p, err := r.OrderParallelCtx(ctx, m, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return check.Perm(p), nil
+}
+
+// OrderParallelCtx implements ParallelOrderer.
+func (RCMPP) OrderParallelCtx(ctx context.Context, m *sparse.CSR, opts Options) (sparse.Permutation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sym := m.Symmetrize()
+	n := sym.NumRows
+	deg := sym.Degrees()
+
+	// Components are still discovered lowest-degree-first so the output
+	// component order matches RCM's; only the start within each component
+	// changes.
+	byDegree := make([]int32, n)
+	for i := range byDegree {
+		byDegree[i] = int32(i)
+	}
+	sort.SliceStable(byDegree, func(a, b int) bool { return deg[byDegree[a]] < deg[byDegree[b]] })
+
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := make([]int32, 0, n)
+	scratch := make([]int32, 0, 64)
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var epoch int32
+	for _, seed := range byDegree {
+		if visited[seed] {
+			continue
+		}
+		start, err := rcmppFindStart(ctx, sym, deg, seed, seen, &epoch, opts.workers())
+		if err != nil {
+			return nil, err
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		order = append(order, start)
+		for head := 0; head < len(queue); head++ {
+			if head%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			u := queue[head]
+			cols, _ := sym.Row(u)
+			scratch = scratch[:0]
+			for _, v := range cols {
+				if !visited[v] {
+					visited[v] = true
+					scratch = append(scratch, v)
+				}
+			}
+			sort.SliceStable(scratch, func(a, b int) bool { return deg[scratch[a]] < deg[scratch[b]] })
+			queue = append(queue, scratch...)
+			order = append(order, scratch...)
+		}
+	}
+	// Reverse.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return check.Perm(sparse.FromNewOrder(order)), nil
+}
+
+// bfsShape summarizes one rooted BFS of a component: height is the number
+// of levels, width the size of the largest level, last the final level's
+// vertices in BFS order (only when wantLast). err slots the cancellation
+// error for ordered fan-in.
+type bfsShape struct {
+	height int32
+	width  int32
+	last   []int32
+	err    error
+}
+
+// bfsMeasure runs a level-structured BFS from start using the caller's
+// epoch-stamped seen array (seen[v] == epoch marks v reached).
+func bfsMeasure(ctx context.Context, sym *sparse.CSR, start int32, seen []int32, epoch int32, wantLast bool) bfsShape {
+	var out bfsShape
+	queue := make([]int32, 1, 64)
+	queue[0] = start
+	seen[start] = epoch
+	levelStart := 0
+	for levelStart < len(queue) {
+		levelEnd := len(queue)
+		out.height++
+		if w := int32(levelEnd - levelStart); w > out.width {
+			out.width = w
+		}
+		if wantLast {
+			out.last = append(out.last[:0], queue[levelStart:levelEnd]...)
+		}
+		for i := levelStart; i < levelEnd; i++ {
+			if i%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					out.err = err
+					return out
+				}
+			}
+			cols, _ := sym.Row(queue[i])
+			for _, v := range cols {
+				if seen[v] != epoch {
+					seen[v] = epoch
+					queue = append(queue, v)
+				}
+			}
+		}
+		levelStart = levelEnd
+	}
+	return out
+}
+
+// rcmppFindStart runs the bi-criteria pseudo-peripheral iteration from
+// seed and returns the chosen starting vertex for the component. seen and
+// epoch are the sequential caller's scratch; candidate evaluations use
+// worker-owned scratch so they can run concurrently.
+func rcmppFindStart(ctx context.Context, sym *sparse.CSR, deg []int32, seed int32, seen []int32, epoch *int32, workers int) (int32, error) {
+	cur := seed
+	var curHeight int32 = -1
+	for iter := 0; iter < rcmppMaxIterations; iter++ {
+		*epoch++
+		shape := bfsMeasure(ctx, sym, cur, seen, *epoch, true)
+		if shape.err != nil {
+			return 0, shape.err
+		}
+		if shape.height <= curHeight {
+			break
+		}
+		curHeight = shape.height
+		cands := rcmppCandidates(shape.last, deg)
+		shapes, err := rcmppEvaluate(ctx, sym, cands, workers)
+		if err != nil {
+			return 0, err
+		}
+		// Winner scan in candidate order: max height, then min width, then
+		// min ID (candidates are ID-ascending, so strict improvement only).
+		best := -1
+		for i, s := range shapes {
+			if best < 0 || s.height > shapes[best].height ||
+				(s.height == shapes[best].height && s.width < shapes[best].width) {
+				best = i
+			}
+		}
+		if best < 0 || shapes[best].height <= curHeight {
+			// No candidate is deeper than the current root: cur is already
+			// pseudo-peripheral under the bi-criteria rule.
+			break
+		}
+		cur = cands[best]
+	}
+	return cur, nil
+}
+
+// rcmppCandidates picks the lowest-degree vertices of the last BFS level,
+// ties broken by ascending ID, capped at rcmppMaxCandidates.
+func rcmppCandidates(last []int32, deg []int32) []int32 {
+	cands := make([]int32, len(last))
+	copy(cands, last)
+	sort.SliceStable(cands, func(a, b int) bool {
+		if deg[cands[a]] != deg[cands[b]] {
+			return deg[cands[a]] < deg[cands[b]]
+		}
+		return cands[a] < cands[b]
+	})
+	if len(cands) > rcmppMaxCandidates {
+		cands = cands[:rcmppMaxCandidates]
+	}
+	return cands
+}
+
+// rcmppEvaluate measures the BFS shape rooted at every candidate, fanning
+// the traversals out over the workers. Candidate i is handled by worker
+// i%workers and writes only shapes[i], so the fan-in is ordered.
+func rcmppEvaluate(ctx context.Context, sym *sparse.CSR, cands []int32, workers int) ([]bfsShape, error) {
+	shapes := make([]bfsShape, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		seen := make([]int32, sym.NumRows)
+		for i := range seen {
+			seen[i] = -1
+		}
+		for ci, c := range cands {
+			shapes[ci] = bfsMeasure(ctx, sym, c, seen, int32(ci), false)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				seen := make([]int32, sym.NumRows)
+				for i := range seen {
+					seen[i] = -1
+				}
+				for ci := wi; ci < len(cands); ci += workers {
+					shapes[ci] = bfsMeasure(ctx, sym, cands[ci], seen, int32(ci), false)
+				}
+			}(wi)
+		}
+		wg.Wait()
+	}
+	for _, s := range shapes {
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	return shapes, nil
+}

@@ -4,6 +4,10 @@
 // internal/core, plus RCM and SLASHBURN as additional baselines from the
 // related-work space.
 //
+// A parallel tier (BOBA, RCM++, RABBIT-SHARD) accepts a Workers count via
+// Options and the ParallelOrderer interface; every technique — parallel or
+// not — produces a byte-identical permutation at any worker count.
+//
 // Every technique consumes a square CSR matrix and produces a permutation
 // mapping old IDs to new IDs; applying it with CSR.PermuteSymmetric
 // preserves kernel semantics exactly (a property the test suites verify).
@@ -162,6 +166,9 @@ func All() []Technique {
 		LouvainOrder{},
 		FrequencyClustering{},
 		HubCluster{},
+		Boba{},
+		RCMPP{},
+		RabbitShard{},
 	}
 }
 

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/reorder"
+)
+
+// TestTechniquesEndpointMatchesRegistry pins that /techniques reports
+// exactly the reorder registry: the service derives its list from
+// reorder.All(), so a registered technique can never be missing from the
+// service surface.
+func TestTechniquesEndpointMatchesRegistry(t *testing.T) {
+	checkGoroutines(t)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := ts.Client().Get(ts.URL + "/techniques")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply struct {
+		Techniques []string `json:"techniques"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	all := reorder.All()
+	if len(reply.Techniques) != len(all) {
+		t.Fatalf("/techniques lists %d techniques, registry has %d", len(reply.Techniques), len(all))
+	}
+	for i, tech := range all {
+		if reply.Techniques[i] != tech.Name() {
+			t.Errorf("/techniques[%d] = %s, registry says %s", i, reply.Techniques[i], tech.Name())
+		}
+	}
+}
+
+// TestRegistrySweepThroughService runs every registered technique through
+// the full service path — the list comes from the registry, not a
+// hardcoded set, so new techniques are exercised here automatically — and
+// asserts each returns a valid permutation that is byte-identical between
+// an OrderWorkers=1 server and an OrderWorkers=4 server (the service-level
+// face of the worker-count determinism matrix; it also proves the result
+// cache can stay oblivious to OrderWorkers).
+func TestRegistrySweepThroughService(t *testing.T) {
+	checkGoroutines(t)
+	m := testMatrix(0)
+	body := mmBody(t, m)
+	_, seq := newTestServer(t, Config{Workers: 1, OrderWorkers: 1})
+	_, par := newTestServer(t, Config{Workers: 1, OrderWorkers: 4})
+	for _, tech := range reorder.All() {
+		name := tech.Name()
+		u := reorderURL(seq.URL, map[string]string{"technique": name, "quality": "off"})
+		status, ref, raw := doReorder(t, seq.Client(), u, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: sequential server status %d: %s", name, status, raw)
+		}
+		if err := check.ValidPermutation(ref.Permutation); err != nil {
+			t.Fatalf("%s: invalid permutation: %v", name, err)
+		}
+		if len(ref.Permutation) != int(m.NumRows) {
+			t.Fatalf("%s: permutation length %d, want %d", name, len(ref.Permutation), m.NumRows)
+		}
+		u = reorderURL(par.URL, map[string]string{"technique": name, "quality": "off"})
+		status, out, raw := doReorder(t, par.Client(), u, body)
+		if status != http.StatusOK {
+			t.Fatalf("%s: parallel server status %d: %s", name, status, raw)
+		}
+		for i := range out.Permutation {
+			if out.Permutation[i] != ref.Permutation[i] {
+				t.Fatalf("%s: OrderWorkers=4 diverges from OrderWorkers=1 at vertex %d", name, i)
+			}
+		}
+	}
+}

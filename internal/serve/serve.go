@@ -58,6 +58,12 @@ type Config struct {
 	// Resolver maps technique names to cancellable orderers (default
 	// reorder.ByNameCtx). Tests inject synthetic techniques through it.
 	Resolver func(name string) (reorder.OrdererCtx, error)
+	// OrderWorkers is the intra-job parallelism handed to techniques that
+	// implement reorder.ParallelOrderer (default 1, the sequential path).
+	// It is independent of Workers, which bounds concurrent jobs; results
+	// are byte-identical at any OrderWorkers value, so the cache never
+	// keys on it.
+	OrderWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Resolver == nil {
 		c.Resolver = reorder.ByNameCtx
+	}
+	if c.OrderWorkers < 1 {
+		c.OrderWorkers = 1
 	}
 	return c
 }
@@ -528,7 +537,13 @@ func (s *Server) await(ctx context.Context, f *flight) (*reorderResult, bool, er
 // one matrix detects communities once.
 func (s *Server) runJob(ctx context.Context, tech reorder.OrdererCtx, m *sparse.CSR, wantQuality bool) (*reorderResult, error) {
 	start := time.Now()
-	p, err := tech.OrderCtx(ctx, m)
+	var p sparse.Permutation
+	var err error
+	if po, ok := tech.(reorder.ParallelOrderer); ok {
+		p, err = po.OrderParallelCtx(ctx, m, reorder.Options{Workers: s.cfg.OrderWorkers})
+	} else {
+		p, err = tech.OrderCtx(ctx, m)
+	}
 	s.metrics.observeJob(tech.Name(), time.Since(start), err != nil)
 	if err != nil {
 		return nil, err

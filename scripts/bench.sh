@@ -126,3 +126,35 @@ cat > BENCH_advisor.json <<EOF
 EOF
 
 echo "==> BENCH_advisor.json (feature extraction ${feat_ns} ns/op)"
+
+echo "==> go test -bench BenchmarkReorder ./internal/reorder"
+rout=$(go test -run='^$' -bench='^BenchmarkReorder$' \
+	-timeout 30m ./internal/reorder)
+echo "$rout"
+
+# Rows: BenchmarkReorder/<TECH>/w=<N>-<procs> iters ns/op "ns/op" ns/nnz
+# "ns/nnz". Emit one JSON entry per technique × worker count; on a
+# single-CPU host only w=1 exists (the benchmark dedups 1 and NumCPU).
+reorder_rows=$(echo "$rout" | awk '$1 ~ /^BenchmarkReorder\// && $6 == "ns/nnz" {
+	split($1, parts, "/");
+	tech = parts[2];
+	w = parts[3]; sub(/-[0-9]+$/, "", w); sub(/^w=/, "", w);
+	printf "    {\"technique\": \"%s\", \"workers\": %s, \"ns_per_op\": %s, \"ns_per_nnz\": %s},\n", tech, w, $3, $5
+}')
+if [ -z "$reorder_rows" ]; then
+	echo "bench.sh: could not parse reorder benchmark output" >&2
+	exit 1
+fi
+reorder_rows=$(printf '%s' "$reorder_rows" | sed '$ s/,$//')
+
+cat > BENCH_reorder.json <<EOF
+{
+  "benchmark": "reordering preprocessing cost (planted partition, 16384 nodes, avg degree 16) at workers=1 and workers=NumCPU",
+  "techniques": [
+$reorder_rows
+  ],
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_reorder.json ($(echo "$reorder_rows" | wc -l | tr -d ' ') technique/worker rows)"

@@ -16,11 +16,20 @@ go run ./cmd/lint ./...
 echo "==> hotalloc escape gate (//repro:noalloc kernels and simulator fast paths)"
 go run ./cmd/lint -run hotalloc ./internal/kernels ./internal/cachesim
 
+# The experiment smoke sweeps every registered technique through Table IV;
+# under -race on a small host that legitimately exceeds go test's default
+# 600s per-package timeout, so give the hang detector explicit headroom.
 echo "==> go test -race ./..."
-go test -race ./...
+go test -race -timeout 1800s ./...
 
 echo "==> go test -tags check ./internal/..."
-go test -tags check ./internal/...
+go test -tags check -timeout 1800s ./internal/...
+
+echo "==> worker-count determinism matrix under -race (parallel reordering tier)"
+go test -race -run 'TestWorkerCountDeterminismMatrix' -count=1 ./internal/reorder
+
+echo "==> registry coverage gate: every registered technique has Table IV rows"
+go test -run 'TestTableIVCoversRegistry' -count=1 ./internal/experiments
 
 echo "==> golden-file regression (serial and parallel must match the goldens)"
 go test -run 'TestGolden' -count=1 ./internal/experiments
@@ -46,6 +55,10 @@ go test -run=NONE -fuzz=FuzzRabbitRoundTrip -fuzztime=5s ./internal/core
 
 echo "==> fuzz smoke: FuzzReorderHandler (internal/serve)"
 go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
+
+echo "==> fuzz smoke: FuzzBobaValidPermutation / FuzzRCMPPValidPermutation (internal/reorder)"
+go test -run=NONE -fuzz=FuzzBobaValidPermutation -fuzztime=5s ./internal/reorder
+go test -run=NONE -fuzz=FuzzRCMPPValidPermutation -fuzztime=5s ./internal/reorder
 
 echo "==> fuzz smoke: FuzzLRUFastVsReference (internal/cachesim differential)"
 go test -run=NONE -fuzz=FuzzLRUFastVsReference -fuzztime=5s ./internal/cachesim
