@@ -121,6 +121,90 @@ func TestCLIErrors(t *testing.T) {
 	}
 }
 
+// TestCLISpGEMM drives the spgemm binary: row-wise and cluster-wise
+// products on a corpus matrix with the -verify cross-check, product
+// output to a file, and the cachesim SpGEMM kernels on the same matrix.
+func TestCLISpGEMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	mtxgen := buildTool(t, dir, "mtxgen")
+	spgemmBin := buildTool(t, dir, "spgemm")
+	cachesimBin := buildTool(t, dir, "cachesim")
+
+	runTool(t, mtxgen, "-out", dir, "-matrices", "soc-tight-2")
+	mtx := filepath.Join(dir, "soc-tight-2.mtx")
+
+	out := runTool(t, spgemmBin, "-in", mtx, "-strategy", "merge", "-verify")
+	for _, want := range []string{"compression=", "row-wise (merge)", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("spgemm row-wise output missing %q:\n%s", want, out)
+		}
+	}
+
+	product := filepath.Join(dir, "c.mtx")
+	out = runTool(t, spgemmBin, "-in", mtx, "-cluster", "-technique", "RABBIT", "-out", product)
+	for _, want := range []string{"reordered with RABBIT", "tiles", "accumulator", "distinct B-row loads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("spgemm cluster output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(product); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown strategy must fail cleanly.
+	if err := exec.Command(spgemmBin, "-in", mtx, "-strategy", "hash").Run(); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+
+	for _, kernel := range []string{"spgemm", "spgemm-cluster"} {
+		out = runTool(t, cachesimBin, "-in", mtx, "-l2", "32768", "-kernel", kernel, "-techniques", "ORIGINAL,RABBIT")
+		if !strings.Contains(out, "RABBIT") || !strings.Contains(out, "traffic") {
+			t.Fatalf("cachesim -kernel %s output:\n%s", kernel, out)
+		}
+	}
+}
+
+// TestCLIRectangularInput checks the square-only paths reject a
+// rectangular matrix with a diagnostic naming the shape (the typed
+// sparse.ErrNotSquare path), while plain SpMV on the same file works.
+func TestCLIRectangularInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short")
+	}
+	dir := t.TempDir()
+	spmvBin := buildTool(t, dir, "spmv")
+
+	rect := filepath.Join(dir, "rect.mtx")
+	content := "%%MatrixMarket matrix coordinate real general\n3 4 3\n1 2 1.0\n2 3 2.0\n3 4 0.5\n"
+	if err := os.WriteFile(rect, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plain SpMV is defined for rectangular matrices and must succeed.
+	out := runTool(t, spmvBin, "-in", rect, "-iters", "1")
+	if !strings.Contains(out, "verified: max abs error") {
+		t.Fatalf("plain rectangular spmv output:\n%s", out)
+	}
+
+	// Asking for a symmetric reordering must fail with the shape named.
+	cmd := exec.Command(spmvBin, "-in", rect, "-technique", "RABBIT")
+	got, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("spmv -technique accepted a rectangular matrix:\n%s", got)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("spmv did not run: %v", err)
+	}
+	for _, want := range []string{"3x4", "not square"} {
+		if !strings.Contains(string(got), want) {
+			t.Fatalf("diagnostic should contain %q, got:\n%s", want, got)
+		}
+	}
+}
+
 // TestCLITruncatedInput feeds reorder and spmv a MatrixMarket file whose
 // header declares more entries than the file holds; both must exit non-zero
 // with a diagnostic naming the truncated entry, not panic.

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	cachesim -in a.mtx [-techniques RANDOM,RABBIT,RABBIT++] [-kernel spmv-csr]
+//	cachesim -in a.mtx [-techniques RANDOM,RABBIT,RABBIT++]
+//	         [-kernel spmv-csr|spmv-coo|spmm-4|spmm-256|spgemm|spgemm-cluster]
 //	         [-l2 262144] [-line 128] [-ways 16] [-belady] [-workers n]
 //	         [-impl fast|reference]
 //
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/gpumodel"
+	"repro/internal/kernels"
 	"repro/internal/reorder"
 	"repro/internal/report"
 	"repro/internal/sparse"
@@ -43,7 +45,7 @@ func run() error {
 	var (
 		in      = flag.String("in", "", "input MatrixMarket file (required)")
 		techs   = flag.String("techniques", "ORIGINAL,RANDOM,RABBIT,RABBIT++", "comma-separated techniques")
-		kernel  = flag.String("kernel", "spmv-csr", "kernel: spmv-csr, spmv-coo, spmm-4, spmm-256")
+		kernel  = flag.String("kernel", "spmv-csr", "kernel: spmv-csr, spmv-coo, spmm-4, spmm-256, spgemm, spgemm-cluster")
 		l2      = flag.Int64("l2", 256<<10, "L2 capacity in bytes")
 		line    = flag.Int64("line", 128, "cache line size in bytes")
 		ways    = flag.Int("ways", 16, "associativity")
@@ -75,6 +77,10 @@ func run() error {
 		k = gpumodel.Kernel{Kind: gpumodel.SpMMCSR, K: 4}
 	case "spmm-256":
 		k = gpumodel.Kernel{Kind: gpumodel.SpMMCSR, K: 256}
+	case "spgemm":
+		k = gpumodel.Kernel{Kind: gpumodel.SpGEMMCSR}
+	case "spgemm-cluster":
+		k = gpumodel.Kernel{Kind: gpumodel.SpGEMMCSRCluster}
 	default:
 		return fmt.Errorf("unknown kernel %q", *kernel)
 	}
@@ -94,6 +100,18 @@ func run() error {
 	}
 	n, nnz := int64(m.NumRows), int64(m.NNZ())
 
+	// The SpGEMM kinds simulate C = M·M, so they need the product's
+	// symbolic shape: the work totals parameterize the analytic traffic
+	// model and trace bound (all permutation-invariant), and the
+	// per-technique traces need the permuted output row sizes.
+	if k.Kind == gpumodel.SpGEMMCSR || k.Kind == gpumodel.SpGEMMCSRCluster {
+		info, err := kernels.SpGEMMSymbolic(m, m)
+		if err != nil {
+			return fmt.Errorf("%s kernel: %w", *kernel, err)
+		}
+		k.Work = gpumodel.SpGEMMWork{Flops: info.Flops, NNZB: nnz, NNZC: info.NNZC}
+	}
+
 	cols := []string{"technique", "traffic", "hit-rate", "dead-lines"}
 	if *belady {
 		cols = append(cols, "belady-traffic")
@@ -106,6 +124,17 @@ func run() error {
 			return trace.SpMVCOO(sparse.CSRToCOO(pm), *line)
 		case gpumodel.SpMMCSR:
 			return trace.SpMMCSR(pm, k.K, *line)
+		case gpumodel.SpGEMMCSR, gpumodel.SpGEMMCSRCluster:
+			pinfo, err := kernels.SpGEMMSymbolic(pm, pm)
+			if err != nil {
+				// The square check above already passed; a failure here
+				// would be a programming error, not bad input.
+				panic(err)
+			}
+			if k.Kind == gpumodel.SpGEMMCSRCluster {
+				return trace.SpGEMMCluster(pm, pm, pinfo.RowNNZ, nil, *line)
+			}
+			return trace.SpGEMM(pm, pm, pinfo.RowNNZ, *line)
 		default:
 			return trace.SpMVCSR(pm, *line)
 		}

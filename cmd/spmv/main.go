@@ -61,7 +61,8 @@ func run() error {
 			return err
 		}
 		if !m.IsSquare() {
-			return fmt.Errorf("reordering requires a square matrix")
+			return fmt.Errorf("-technique %s applies a symmetric permutation, but %s is %dx%d: %w",
+				t.Name(), *in, m.NumRows, m.NumCols, sparse.ErrNotSquare)
 		}
 		p := t.Order(m)
 		m = m.PermuteSymmetric(p)

@@ -1,5 +1,7 @@
 package community
 
+import "repro/internal/check"
+
 // Shard is one contiguous vertex range [Lo, Hi) of a stable graph
 // decomposition. Shards exist so parallel detection phases can split work
 // without making the split visible in results: boundaries depend only on
@@ -24,6 +26,30 @@ const (
 	// (quadratic in the shard count at worst) stays negligible.
 	shardMaxCount = 64
 )
+
+// TilesFromCommunities converts a per-row community assignment into
+// contiguous row tiles for cluster-wise kernel execution: consecutive rows
+// sharing a community label form one tile, and tiles longer than maxRows
+// (when maxRows > 0) are split so accumulator footprints stay bounded. The
+// assignment is read positionally — callers pass labels already in the
+// matrix's current row order, so after a community reordering each tile is
+// one community block. Rows are never regrouped across a label change;
+// like Shards, the result exactly partitions [0, len(comm)) in order.
+func TilesFromCommunities(comm []int32, maxRows int32) []Shard {
+	if len(comm) == 0 {
+		return nil
+	}
+	var tiles []Shard
+	var lo int32
+	n := check.SafeInt32(len(comm))
+	for i := int32(1); i <= n; i++ {
+		if i == n || comm[i] != comm[lo] || (maxRows > 0 && i-lo >= maxRows) {
+			tiles = append(tiles, Shard{Lo: lo, Hi: i})
+			lo = i
+		}
+	}
+	return tiles
+}
 
 // Shards decomposes n vertices into contiguous ranges with stable
 // boundaries: the decomposition is a pure function of n. Small inputs get

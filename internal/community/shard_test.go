@@ -49,6 +49,96 @@ func TestShardsPartition(t *testing.T) {
 	}
 }
 
+// TestTilesFromCommunities is the table-driven edge-case sweep for the
+// SpGEMM tiler: single-community matrices, all-singleton communities,
+// label changes landing on empty-row boundaries, and the maxRows split.
+// Run with -race: the function must be safely callable from concurrent
+// kernel executions (it is pure, but the test keeps that honest).
+func TestTilesFromCommunities(t *testing.T) {
+	seq := func(n int32, f func(int32) int32) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = f(int32(i))
+		}
+		return out
+	}
+	cases := []struct {
+		name    string
+		comm    []int32
+		maxRows int32
+		want    []Shard
+	}{
+		{name: "empty", comm: nil, maxRows: 0, want: nil},
+		{name: "single-community", comm: seq(6, func(int32) int32 { return 7 }), maxRows: 0,
+			want: []Shard{{0, 6}}},
+		{name: "single-community-split", comm: seq(7, func(int32) int32 { return 7 }), maxRows: 3,
+			want: []Shard{{0, 3}, {3, 6}, {6, 7}}},
+		{name: "all-singletons", comm: seq(5, func(i int32) int32 { return i }), maxRows: 0,
+			want: []Shard{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+		{name: "all-singletons-capped", comm: seq(3, func(i int32) int32 { return i }), maxRows: 1,
+			want: []Shard{{0, 1}, {1, 2}, {2, 3}}},
+		{name: "two-runs", comm: []int32{4, 4, 4, 9, 9}, maxRows: 0,
+			want: []Shard{{0, 3}, {3, 5}}},
+		// Empty rows carry community labels like any other row; a label
+		// change on an empty-row boundary must still cut a tile there,
+		// and a reused label after a gap must NOT merge across the run.
+		{name: "label-reused-after-gap", comm: []int32{1, 1, 2, 1, 1}, maxRows: 0,
+			want: []Shard{{0, 2}, {2, 3}, {3, 5}}},
+		{name: "boundary-at-row-0", comm: []int32{3, 5, 5, 5}, maxRows: 0,
+			want: []Shard{{0, 1}, {1, 4}}},
+		{name: "split-then-boundary", comm: []int32{0, 0, 0, 0, 1}, maxRows: 2,
+			want: []Shard{{0, 2}, {2, 4}, {4, 5}}},
+		{name: "negative-labels", comm: []int32{-1, -1, -2}, maxRows: 0,
+			want: []Shard{{0, 2}, {2, 3}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := TilesFromCommunities(tc.comm, tc.maxRows)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("tile %d = %v, want %v (full: %v)", i, got[i], tc.want[i], got)
+				}
+			}
+		})
+	}
+}
+
+// TestTilesFromCommunitiesPartition checks the structural contract the
+// cluster-wise kernel validates: tiles exactly cover [0, n) in ascending
+// contiguous order, never exceed maxRows, and never span a label change.
+func TestTilesFromCommunitiesPartition(t *testing.T) {
+	comm := make([]int32, 1000)
+	for i := range comm {
+		comm[i] = int32(i / 37)
+	}
+	for _, maxRows := range []int32{0, 1, 5, 36, 37, 38, 1000} {
+		tiles := TilesFromCommunities(comm, maxRows)
+		var lo int32
+		for i, tl := range tiles {
+			if tl.Lo != lo || tl.Len() <= 0 {
+				t.Fatalf("maxRows=%d: tile %d = %v, want contiguous from %d", maxRows, i, tl, lo)
+			}
+			if maxRows > 0 && tl.Len() > maxRows {
+				t.Fatalf("maxRows=%d: tile %d has %d rows", maxRows, i, tl.Len())
+			}
+			for r := tl.Lo + 1; r < tl.Hi; r++ {
+				if comm[r] != comm[tl.Lo] {
+					t.Fatalf("maxRows=%d: tile %d spans a label change at row %d", maxRows, i, r)
+				}
+			}
+			lo = tl.Hi
+		}
+		if lo != int32(len(comm)) {
+			t.Fatalf("maxRows=%d: tiles cover [0,%d), want [0,%d)", maxRows, lo, len(comm))
+		}
+	}
+}
+
 // TestShardsSplitLargeInputs pins that inputs past the split threshold
 // actually decompose — the parallel tier is pointless on one shard.
 func TestShardsSplitLargeInputs(t *testing.T) {

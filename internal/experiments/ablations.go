@@ -319,6 +319,8 @@ func Ablations() []Experiment {
 		{ID: "abl-resolution", Paper: "Ablation: RABBIT resolution parameter", Run: AblResolution},
 		{ID: "abl-policy", Paper: "Ablation: replacement policy", Run: AblPolicy},
 		{ID: "abl-pushpull", Paper: "Ablation: push vs pull SpMV", Run: AblPushPull},
+		{ID: "spgemm", Paper: "SpGEMM generality across techniques (arXiv 2507.21253 extension)", Run: SpGEMMTable},
+		{ID: "abl-spgemm", Paper: "Ablation: SpGEMM cluster-wise vs row-wise execution", Run: AblSpGEMMCluster},
 		{ID: "advisor", Paper: "Advisor: feature-based technique selection", Run: AdvisorEval},
 	}
 }

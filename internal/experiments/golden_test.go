@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // reductions, and the committed advisor model's behaviour — if the
 // scheduler ever reordered an aggregation, dropped a unit, or the advisor
 // artifact drifted from its features, at least one of these drifts.
-var goldenExperiments = []string{"fig2", "table2", "obs", "advisor"}
+var goldenExperiments = []string{"fig2", "table2", "obs", "advisor", "abl-spgemm"}
 
 // TestGolden regenerates each pinned experiment on the Small-corpus test
 // subset at Workers=1 (the historical serial behaviour) and at

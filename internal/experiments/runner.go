@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gpumodel"
+	"repro/internal/kernels"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -87,6 +88,11 @@ type MatrixData struct {
 	once   sync.Once
 	rabbit *core.RabbitResult
 	stats  core.CommunityStats
+
+	// spgemmOnce guards the symbolic SpGEMM analysis of M·M; see
+	// SpGEMMInfo in spgemm.go.
+	spgemmOnce sync.Once
+	spgemm     kernels.SpGEMMInfo
 
 	// mu guards the cache maps only; it is never held across a
 	// reordering or simulation — the Runner's flightGroup provides the
@@ -369,6 +375,10 @@ func (r *Runner) traceFor(md *MatrixData, tech reorder.Technique, k gpumodel.Ker
 		return trace.SpMMCSR(pm, k.K, line)
 	case gpumodel.SpMVCSC:
 		return trace.SpMVCSC(pm, line)
+	case gpumodel.SpGEMMCSR:
+		return trace.SpGEMM(pm, pm, permuteRowNNZ(md.SpGEMMInfo().RowNNZ, r.Perm(md, tech)), line)
+	case gpumodel.SpGEMMCSRCluster:
+		return trace.SpGEMMCluster(pm, pm, permuteRowNNZ(md.SpGEMMInfo().RowNNZ, r.Perm(md, tech)), nil, line)
 	default:
 		panic("experiments: unknown kernel")
 	}

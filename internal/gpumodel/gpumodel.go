@@ -106,13 +106,41 @@ const (
 	// SpMVCSC is the pull-style SpMV over Compressed Sparse Column
 	// storage: the output vector becomes the irregular operand.
 	SpMVCSC
+	// SpGEMMCSR is Gustavson sparse×sparse C = A·B with row-wise
+	// execution: every A-nonzero dereferences one B row.
+	SpGEMMCSR
+	// SpGEMMCSRCluster is SpGEMM with cluster-wise execution: the outer
+	// loop is tiled by community row blocks, each distinct B row is
+	// loaded once per tile, and tile accumulators spill to C at tile end.
+	SpGEMMCSRCluster
 )
 
+// SpGEMMWork carries the data-dependent work terms of an SpGEMM kernel,
+// which — unlike every (n, nnz)-parameterized kernel above — cannot be
+// derived from the operand shape alone. Populate it from
+// kernels.SpGEMMSymbolic on the same operands the trace was generated
+// from; all three counts are invariant under symmetric relabeling, so one
+// symbolic pass covers every reordering of a matrix.
+type SpGEMMWork struct {
+	// Flops is the multiply–add pair count Σ over nonzeros a_ik of
+	// nnz(B row k).
+	Flops int64
+	// NNZB is the nonzero count of the B operand.
+	NNZB int64
+	// NNZC is the nonzero count of the output C.
+	NNZC int64
+}
+
 // Kernel is a kernel kind plus its dense width (K is meaningful only for
-// SpMMCSR).
+// SpMMCSR) and, for the SpGEMM kinds, the symbolic work terms.
 type Kernel struct {
 	Kind Kind
 	K    int64
+	// Work parameterizes the SpGEMM kinds; zero (and ignored) for all
+	// others. String() deliberately excludes it so simulation-cache keys
+	// built from the kernel name stay stable whether or not a caller
+	// bothered to attach Work.
+	Work SpGEMMWork
 }
 
 // String names the kernel as the paper's tables do.
@@ -126,6 +154,10 @@ func (k Kernel) String() string {
 		return fmt.Sprintf("SpMM-CSR-%d", k.K)
 	case SpMVCSC:
 		return "SpMV-CSC"
+	case SpGEMMCSR:
+		return "SpGEMM-CSR"
+	case SpGEMMCSRCluster:
+		return "SpGEMM-CSR-cluster"
 	default:
 		return "Kernel(?)"
 	}
@@ -146,6 +178,12 @@ func (k Kernel) CompulsoryBytes(n, nnz int64) int64 {
 		return (2*n + 3*nnz) * e
 	case SpMMCSR:
 		return (2*n*k.K + (n + 1) + 2*nnz) * e
+	case SpGEMMCSR, SpGEMMCSRCluster:
+		// Three CSR matrices cross DRAM once each: A (the n/nnz
+		// arguments), B (Work.NNZB), and the output C (Work.NNZC). B and C
+		// are modeled with n rows apiece — exact for the square C = A·A
+		// products the experiments run.
+		return (3*(n+1) + 2*(nnz+k.Work.NNZB+k.Work.NNZC)) * e
 	default:
 		panic("gpumodel: unknown kernel kind")
 	}
@@ -154,10 +192,14 @@ func (k Kernel) CompulsoryBytes(n, nnz int64) int64 {
 // Flops returns the floating-point work of the kernel: one multiply-add
 // per nonzero (per dense column for SpMM).
 func (k Kernel) Flops(nnz int64) int64 {
-	if k.Kind == SpMMCSR {
+	switch k.Kind {
+	case SpMMCSR:
 		return 2 * nnz * k.K
+	case SpGEMMCSR, SpGEMMCSRCluster:
+		return 2 * k.Work.Flops
+	default:
+		return 2 * nnz
 	}
-	return 2 * nnz
 }
 
 // ArithmeticIntensity returns FLOPs per compulsory byte; for SpMV the
@@ -268,6 +310,22 @@ func (k Kernel) TraceAccessUpperBound(n, nnz, lineBytes int64) int64 {
 		perRow := satAdd(4, satMul(2, span))
 		perNNZ := satAdd(4, span)
 		return satAdd(satMul(perRow, n), satMul(perNNZ, nnz))
+	case SpGEMMCSR, SpGEMMCSRCluster:
+		// Output-growing kernel: the emit count depends on nnz(C) and the
+		// flop count, neither derivable from (n, nnz). The symbolic pass
+		// (kernels.SpGEMMSymbolic → Kernel.Work) supplies both; the naive
+		// shape-only bound (nnz·n) would saturate the recorders' hint
+		// clamp and allocate gigabytes. Per A row: ≤4 row-offset emits
+		// plus ≤4 C row-offset emits. Per A nonzero: ≤4 column/value
+		// stream emits, 2 B-row-offset emits, and ≤2 segment-boundary
+		// lines per B-row visit. Each flop contributes ≤2 B data lines
+		// (column + value); each C nonzero ≤4 streamed write emits.
+		// Cluster-wise execution only dedups B-row visits, so the
+		// row-wise bound covers both kinds.
+		return satAdd(
+			satAdd(satMul(8, n), satMul(8, nnz)),
+			satAdd(satMul(2, k.Work.Flops), satMul(4, k.Work.NNZC)),
+		)
 	default:
 		panic("gpumodel: unknown kernel kind")
 	}

@@ -111,6 +111,7 @@ func spmvCOOCore(a *sparse.COO, x, y []float32) {
 // Dense is a row-major dense matrix used as the SpMM operand: the paper
 // evaluates |N|×4 and |N|×256 dense right-hand sides (Table IV).
 type Dense struct {
+	// Rows and Cols are the matrix dimensions.
 	Rows, Cols int32
 	Data       []float32 // len Rows*Cols, row-major
 }

@@ -1,0 +1,438 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/community"
+	"repro/internal/sparse"
+)
+
+// SpGEMM computes the sparse–sparse product C = A·B over CSR using
+// Gustavson's row-wise algorithm (arXiv 2507.21253's baseline): row i of C
+// is the sum of B's rows selected and scaled by row i of A. The output is
+// a fully valid CSR (sorted, duplicate-free rows); explicit zeros produced
+// by cancellation are kept, matching standard SpGEMM semantics.
+//
+// Every strategy — and SpGEMMClusterWise — accumulates each output entry
+// c_ij in ascending-k order (the order of A's sorted rows), so all three
+// execution modes produce bit-identical values for any float32 input, not
+// just for the exactly-representable integer matrices the differential
+// tests sweep.
+
+// SpGEMMStrategy selects how each output row is accumulated.
+type SpGEMMStrategy int
+
+const (
+	// SpGEMMDenseAcc expands each row into a dense accumulator of
+	// B.NumCols slots (generation-marked, so clearing is O(row nnz)) and
+	// gathers the touched columns in sorted order. The classic fast path
+	// when rows are dense relative to the accumulator.
+	SpGEMMDenseAcc SpGEMMStrategy = iota
+	// SpGEMMSortedMerge keeps the partial row as a sorted (column, value)
+	// list and two-way merges each scaled B row into it. No O(NumCols)
+	// state; the right shape when output rows are short.
+	SpGEMMSortedMerge
+)
+
+// String names the strategy as cmd/spgemm's -strategy flag spells it.
+func (s SpGEMMStrategy) String() string {
+	switch s {
+	case SpGEMMDenseAcc:
+		return "dense"
+	case SpGEMMSortedMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("SpGEMMStrategy(%d)", int(s))
+	}
+}
+
+// ParseSpGEMMStrategy resolves a -strategy flag value ("dense" or "merge").
+func ParseSpGEMMStrategy(name string) (SpGEMMStrategy, error) {
+	switch name {
+	case "dense":
+		return SpGEMMDenseAcc, nil
+	case "merge":
+		return SpGEMMSortedMerge, nil
+	default:
+		return 0, fmt.Errorf("kernels: unknown SpGEMM strategy %q (want dense or merge)", name)
+	}
+}
+
+// spgemmShapeCheck validates the inner-dimension agreement of C = A·B.
+func spgemmShapeCheck(a, b *sparse.CSR) error {
+	if a.NumCols != b.NumRows {
+		return fmt.Errorf("kernels: SpGEMM inner dimensions disagree: A is %dx%d, B is %dx%d",
+			a.NumRows, a.NumCols, b.NumRows, b.NumCols)
+	}
+	return nil
+}
+
+// SpGEMM computes C = A·B with the chosen row strategy. A must have as
+// many columns as B has rows; the result is A.NumRows × B.NumCols.
+func SpGEMM(a, b *sparse.CSR, strategy SpGEMMStrategy) (*sparse.CSR, error) {
+	check.AssertCSR(a)
+	check.AssertCSR(b)
+	if err := spgemmShapeCheck(a, b); err != nil {
+		return nil, err
+	}
+	switch strategy {
+	case SpGEMMDenseAcc:
+		return spgemmDense(a, b), nil
+	case SpGEMMSortedMerge:
+		return spgemmMerge(a, b), nil
+	default:
+		return nil, fmt.Errorf("kernels: unknown SpGEMM strategy %d", strategy)
+	}
+}
+
+// spgemmDense is the dense-accumulator Gustavson loop.
+func spgemmDense(a, b *sparse.CSR) *sparse.CSR {
+	out := &sparse.CSR{
+		NumRows:    a.NumRows,
+		NumCols:    b.NumCols,
+		RowOffsets: make([]int32, int(a.NumRows)+1),
+	}
+	acc := make([]float32, b.NumCols)
+	// mark[j] == row+1 means column j is live in the current row's
+	// accumulator; the +1 keeps the zero value distinct from row 0.
+	mark := make([]int32, b.NumCols)
+	var touched []int32
+	for row := int32(0); row < a.NumRows; row++ {
+		touched = touched[:0]
+		cols, vals := a.Row(row)
+		for k, ak := range cols {
+			v := vals[k]
+			bc, bv := b.Row(ak)
+			for t, j := range bc {
+				if mark[j] != row+1 {
+					mark[j] = row + 1
+					acc[j] = v * bv[t]
+					touched = append(touched, j)
+				} else {
+					acc[j] += v * bv[t]
+				}
+			}
+		}
+		sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+		for _, j := range touched {
+			out.ColIndices = append(out.ColIndices, j)
+			out.Values = append(out.Values, acc[j])
+		}
+		out.RowOffsets[row+1] = check.SafeInt32(len(out.ColIndices))
+	}
+	return check.CSR(out)
+}
+
+// spgemmMerge is the sorted-merge Gustavson loop: the partial output row
+// stays sorted and each scaled B row is two-way merged into it.
+func spgemmMerge(a, b *sparse.CSR) *sparse.CSR {
+	out := &sparse.CSR{
+		NumRows:    a.NumRows,
+		NumCols:    b.NumCols,
+		RowOffsets: make([]int32, int(a.NumRows)+1),
+	}
+	type colVal struct {
+		c int32
+		v float32
+	}
+	var cur, next []colVal
+	for row := int32(0); row < a.NumRows; row++ {
+		cur = cur[:0]
+		cols, vals := a.Row(row)
+		for k, ak := range cols {
+			v := vals[k]
+			bc, bv := b.Row(ak)
+			next = next[:0]
+			i, j := 0, 0
+			for i < len(cur) || j < len(bc) {
+				switch {
+				case j >= len(bc) || (i < len(cur) && cur[i].c < bc[j]):
+					next = append(next, cur[i])
+					i++
+				case i >= len(cur) || bc[j] < cur[i].c:
+					next = append(next, colVal{bc[j], v * bv[j]})
+					j++
+				default:
+					next = append(next, colVal{cur[i].c, cur[i].v + v*bv[j]})
+					i++
+					j++
+				}
+			}
+			cur, next = next, cur
+		}
+		for _, cv := range cur {
+			out.ColIndices = append(out.ColIndices, cv.c)
+			out.Values = append(out.Values, cv.v)
+		}
+		out.RowOffsets[row+1] = check.SafeInt32(len(out.ColIndices))
+	}
+	return check.CSR(out)
+}
+
+// SpGEMMInfo is the structure-only (symbolic) analysis of C = A·B: the
+// work and output size Gustavson's numeric phase will incur, computed
+// without touching values. Both counts are invariant under symmetric
+// relabeling of the operands, so a bound derived from the original matrix
+// stays valid for every reordering of it.
+type SpGEMMInfo struct {
+	// NNZC is the number of stored nonzeros of C (cancellation entries
+	// included, matching the numeric kernels).
+	NNZC int64
+	// Flops is the number of multiply–add pairs: Σ over nonzeros a_ik of
+	// nnz(B row k). The arithmetic work is 2·Flops FLOPs.
+	Flops int64
+	// RowNNZ is the per-row nonzero count of C (len A.NumRows).
+	RowNNZ []int32
+}
+
+// CompressionRatio returns Flops/NNZC — how many intermediate products
+// merge into each stored output entry, the locality headroom cluster-wise
+// execution exploits. Zero-output products report 0.
+func (i SpGEMMInfo) CompressionRatio() float64 {
+	if i.NNZC == 0 {
+		return 0
+	}
+	return float64(i.Flops) / float64(i.NNZC)
+}
+
+// SpGEMMSymbolic runs the symbolic phase of C = A·B: per-row output sizes,
+// total nonzeros, and the exact flop count. O(Flops) time, O(B.NumCols)
+// scratch.
+func SpGEMMSymbolic(a, b *sparse.CSR) (SpGEMMInfo, error) {
+	check.AssertCSR(a)
+	check.AssertCSR(b)
+	if err := spgemmShapeCheck(a, b); err != nil {
+		return SpGEMMInfo{}, err
+	}
+	info := SpGEMMInfo{RowNNZ: make([]int32, a.NumRows)}
+	mark := make([]int32, b.NumCols)
+	for row := int32(0); row < a.NumRows; row++ {
+		cols, _ := a.Row(row)
+		var rowNNZ int32
+		for _, ak := range cols {
+			bc, _ := b.Row(ak)
+			info.Flops += int64(len(bc))
+			for _, j := range bc {
+				if mark[j] != row+1 {
+					mark[j] = row + 1
+					rowNNZ++
+				}
+			}
+		}
+		info.RowNNZ[row] = rowNNZ
+		info.NNZC += int64(rowNNZ)
+	}
+	return info, nil
+}
+
+// SpGEMMClusterStats reports the execution profile of one cluster-wise
+// SpGEMM run: how large the per-tile accumulators grew and how much B-row
+// reuse the tiling captured.
+type SpGEMMClusterStats struct {
+	// Tiles is the number of row tiles executed.
+	Tiles int
+	// MaxTileAccEntries is the largest number of accumulator entries
+	// (output nonzeros) live in any one tile at spill time.
+	MaxTileAccEntries int64
+	// TotalAccEntries sums accumulator entries over all tiles — equal to
+	// nnz(C), since every output entry is accumulated exactly once.
+	TotalAccEntries int64
+	// DistinctBRowLoads sums, over tiles, the number of distinct B rows
+	// the tile references: the irregular loads cluster-wise execution
+	// actually issues. Row-wise execution issues one per A-nonzero
+	// (= nnz(A)); the gap is the reuse the schedule captured.
+	DistinctBRowLoads int64
+	// Flops is the multiply–add pair count, identical to the row-wise
+	// schedule's.
+	Flops int64
+}
+
+// MaxTileAccBytes returns the peak per-tile accumulator footprint in
+// bytes: each live entry holds a 4-byte column index and a 4-byte value.
+func (s SpGEMMClusterStats) MaxTileAccBytes() int64 { return 8 * s.MaxTileAccEntries }
+
+// validTiles checks that tiles exactly partition [0, n) in ascending
+// contiguous order — the contract SpGEMMClusterWise inherits from
+// community.Shards.
+func validTiles(tiles []community.Shard, n int32) error {
+	var lo int32
+	for i, t := range tiles {
+		if t.Lo != lo || t.Hi < t.Lo {
+			return fmt.Errorf("kernels: tile %d spans [%d,%d), want contiguous from %d", i, t.Lo, t.Hi, lo)
+		}
+		lo = t.Hi
+	}
+	if lo != n {
+		return fmt.Errorf("kernels: tiles cover [0,%d), want [0,%d)", lo, n)
+	}
+	return nil
+}
+
+// SpGEMMClusterWise computes C = A·B with cluster-wise execution (arXiv
+// 2507.21253): the Gustavson outer loop is tiled by the given contiguous
+// row blocks — community.Shards(A.NumRows) when tiles is nil — and each
+// tile runs a two-phase schedule. The symbolic phase sizes the tile's
+// output rows; the numeric phase visits the tile's A-nonzeros grouped by
+// column k (ascending), loading each distinct B row once per tile and
+// scattering it into every output row of the tile that needs it. All
+// accumulation for the tile stays resident until the tile spills to C.
+//
+// After a community reordering, rows in a tile share column structure, so
+// the distinct-B-row loads per tile drop — the first place the reordering
+// and the kernel schedule cooperate. Output values are bit-identical to
+// both row-wise strategies because each c_ij still accumulates in
+// ascending-k order.
+func SpGEMMClusterWise(a, b *sparse.CSR, tiles []community.Shard) (*sparse.CSR, SpGEMMClusterStats, error) {
+	check.AssertCSR(a)
+	check.AssertCSR(b)
+	var stats SpGEMMClusterStats
+	if err := spgemmShapeCheck(a, b); err != nil {
+		return nil, stats, err
+	}
+	if tiles == nil {
+		tiles = community.Shards(a.NumRows)
+	}
+	if err := validTiles(tiles, a.NumRows); err != nil {
+		return nil, stats, err
+	}
+	out := &sparse.CSR{
+		NumRows:    a.NumRows,
+		NumCols:    b.NumCols,
+		RowOffsets: make([]int32, int(a.NumRows)+1),
+	}
+	mark := make([]int32, b.NumCols)
+	var touched []int32
+	type aEntry struct {
+		k   int32 // column of A = row of B
+		row int32 // output row
+		v   float32
+	}
+	var entries []aEntry
+	stats.Tiles = len(tiles)
+	for _, tile := range tiles {
+		// Symbolic phase: emit the tile's sorted output structure.
+		tileBase := int64(len(out.ColIndices))
+		for row := tile.Lo; row < tile.Hi; row++ {
+			touched = touched[:0]
+			cols, _ := a.Row(row)
+			for _, ak := range cols {
+				bc, _ := b.Row(ak)
+				for _, j := range bc {
+					if mark[j] != row+1 {
+						mark[j] = row + 1
+						touched = append(touched, j)
+					}
+				}
+			}
+			sort.Slice(touched, func(x, y int) bool { return touched[x] < touched[y] })
+			out.ColIndices = append(out.ColIndices, touched...)
+			out.Values = append(out.Values, make([]float32, len(touched))...)
+			out.RowOffsets[row+1] = check.SafeInt32(len(out.ColIndices))
+		}
+		accEntries := int64(len(out.ColIndices)) - tileBase
+		stats.TotalAccEntries += accEntries
+		if accEntries > stats.MaxTileAccEntries {
+			stats.MaxTileAccEntries = accEntries
+		}
+		// Numeric phase, k-major: group the tile's A-nonzeros by B row.
+		entries = entries[:0]
+		for row := tile.Lo; row < tile.Hi; row++ {
+			cols, vals := a.Row(row)
+			for k, ak := range cols {
+				entries = append(entries, aEntry{k: ak, row: row, v: vals[k]})
+			}
+		}
+		// Ascending (k, row): each c_ij accumulates in ascending-k order
+		// (one contribution per k since A's rows are duplicate-free), and
+		// each distinct k's B row is loaded exactly once per tile.
+		sort.Slice(entries, func(x, y int) bool {
+			if entries[x].k != entries[y].k {
+				return entries[x].k < entries[y].k
+			}
+			return entries[x].row < entries[y].row
+		})
+		for e := 0; e < len(entries); {
+			k := entries[e].k
+			bc, bv := b.Row(k)
+			stats.DistinctBRowLoads++
+			for ; e < len(entries) && entries[e].k == k; e++ {
+				row, v := entries[e].row, entries[e].v
+				stats.Flops += int64(len(bc))
+				lo, hi := out.RowOffsets[row], out.RowOffsets[row+1]
+				rowCols := out.ColIndices[lo:hi]
+				for t, j := range bc {
+					// The symbolic phase guarantees j is present.
+					pos := int32(sort.Search(len(rowCols), func(x int) bool { return rowCols[x] >= j }))
+					out.Values[lo+pos] += v * bv[t]
+				}
+			}
+		}
+	}
+	return check.CSR(out), stats, nil
+}
+
+// SpGEMMTileFootprint returns the peak number of accumulator entries any
+// single tile holds at spill time, computed from the symbolic per-row
+// output sizes (SpGEMMInfo.RowNNZ, in the same row order as the tiles)
+// without executing the kernel. Multiply by 8 for bytes: each live entry
+// is a 4-byte column index plus a 4-byte value.
+func SpGEMMTileFootprint(rowNNZ []int32, tiles []community.Shard) int64 {
+	var peak int64
+	for _, t := range tiles {
+		var sum int64
+		for r := t.Lo; r < t.Hi; r++ {
+			sum += int64(rowNNZ[r])
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
+	return peak
+}
+
+// SpGEMMReferenceInt64 computes C = A·B by the naive dense triple loop in
+// exact int64 arithmetic — the differential oracle the fast strategies are
+// checked against. Operand values are truncated to int64, so it is only
+// meaningful for integer-valued matrices (which the SpGEMM test corpus
+// guarantees); within that domain the comparison is exact, immune to
+// float accumulation-order effects.
+func SpGEMMReferenceInt64(a, b *sparse.CSR) ([][]int64, error) {
+	if err := spgemmShapeCheck(a, b); err != nil {
+		return nil, err
+	}
+	dense := make([][]int64, a.NumRows)
+	for i := range dense {
+		dense[i] = make([]int64, b.NumCols)
+	}
+	for i := int32(0); i < a.NumRows; i++ {
+		cols, vals := a.Row(i)
+		for k, ak := range cols {
+			v := int64(vals[k])
+			bc, bv := b.Row(ak)
+			for t, j := range bc {
+				dense[i][j] += v * int64(bv[t])
+			}
+		}
+	}
+	return dense, nil
+}
+
+// CSRToDenseInt64 expands a CSR matrix into a dense int64 grid, truncating
+// values; the companion of SpGEMMReferenceInt64 for exact comparison of
+// integer-valued results (explicit zeros disappear, so cancellation cannot
+// produce false pattern mismatches).
+func CSRToDenseInt64(m *sparse.CSR) [][]int64 {
+	dense := make([][]int64, m.NumRows)
+	for i := range dense {
+		dense[i] = make([]int64, m.NumCols)
+	}
+	for i := int32(0); i < m.NumRows; i++ {
+		cols, vals := m.Row(i)
+		for k, c := range cols {
+			dense[i][c] = int64(vals[k])
+		}
+	}
+	return dense
+}

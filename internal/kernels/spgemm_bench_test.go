@@ -1,0 +1,57 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// benchSpGEMMMatrix builds a symmetric random graph big enough that the
+// product's flop count dominates setup cost but small enough that the
+// dense accumulator's O(cols) workspace stays cache-resident.
+func benchSpGEMMMatrix(n int32, deg int) *sparse.CSR {
+	rng := rand.New(rand.NewSource(42))
+	coo := sparse.NewCOO(n, n, int(n)*deg)
+	for r := int32(0); r < n; r++ {
+		for d := 0; d < deg; d++ {
+			coo.AddSym(r, rng.Int31n(n), 1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// BenchmarkSpGEMM times C = A·A for each execution mode and reports
+// ns/flop (the scale-free figure scripts/bench.sh records) alongside the
+// standard ns/op and allocation counters.
+func BenchmarkSpGEMM(b *testing.B) {
+	m := benchSpGEMMMatrix(1<<12, 8)
+	info, err := SpGEMMSymbolic(m, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("n=%d nnz=%d nnzC=%d flops=%d compression=%.3f",
+		m.NumRows, m.NNZ(), info.NNZC, info.Flops, info.CompressionRatio())
+
+	run := func(name string, mult func() (*sparse.CSR, error)) {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, err := mult()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if int64(c.NNZ()) != info.NNZC {
+					b.Fatalf("nnz(C) = %d, want %d", c.NNZ(), info.NNZC)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(info.Flops)*float64(b.N)), "ns/flop")
+		})
+	}
+	run("dense", func() (*sparse.CSR, error) { return SpGEMM(m, m, SpGEMMDenseAcc) })
+	run("merge", func() (*sparse.CSR, error) { return SpGEMM(m, m, SpGEMMSortedMerge) })
+	run("cluster", func() (*sparse.CSR, error) {
+		c, _, err := SpGEMMClusterWise(m, m, nil)
+		return c, err
+	})
+}

@@ -11,11 +11,14 @@ import (
 // same methodology to the host this code runs on, so host-side ideal run
 // times can be computed the same way.
 type StreamResult struct {
-	// CopyGBs, MulGBs, AddGBs, TriadGBs are the classic four kernels'
-	// sustained bandwidths in GB/s (best of the timed repetitions).
-	CopyGBs  float64
-	MulGBs   float64
-	AddGBs   float64
+	// CopyGBs is the copy kernel's sustained bandwidth in GB/s (best of
+	// the timed repetitions), and likewise for the other three kernels.
+	CopyGBs float64
+	// MulGBs is the scale kernel's sustained bandwidth in GB/s.
+	MulGBs float64
+	// AddGBs is the add kernel's sustained bandwidth in GB/s.
+	AddGBs float64
+	// TriadGBs is the triad kernel's sustained bandwidth in GB/s.
 	TriadGBs float64
 }
 

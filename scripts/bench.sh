@@ -127,6 +127,45 @@ EOF
 
 echo "==> BENCH_advisor.json (feature extraction ${feat_ns} ns/op)"
 
+echo "==> go test -bench BenchmarkSpGEMM ./internal/kernels"
+spout=$(go test -run='^$' -bench='^BenchmarkSpGEMM$' \
+	-benchmem -timeout 30m ./internal/kernels)
+echo "$spout"
+
+# Rows: BenchmarkSpGEMM/<mode>[-<procs>] iters N ns/op N ns/flop N B/op
+# N allocs/op (the -procs suffix is omitted at GOMAXPROCS=1). Pick values
+# by their unit token so metric order changes can't silently shift a
+# column.
+spgemm_metric() {
+	echo "$spout" | awk -v mode="$1" -v unit="$2" \
+		'$1 ~ "^BenchmarkSpGEMM/" mode "(-[0-9]+)?$" { for (i = 2; i <= NF; i++) if ($i == unit) print $(i-1) }'
+}
+spgemm_rows=""
+for mode in dense merge cluster; do
+	ns=$(spgemm_metric "$mode" "ns/op")
+	nsflop=$(spgemm_metric "$mode" "ns/flop")
+	allocs=$(spgemm_metric "$mode" "allocs/op")
+	if [ -z "$ns" ] || [ -z "$nsflop" ] || [ -z "$allocs" ]; then
+		echo "bench.sh: could not parse SpGEMM benchmark output for mode $mode" >&2
+		exit 1
+	fi
+	spgemm_rows="$spgemm_rows    {\"mode\": \"$mode\", \"ns_per_op\": $ns, \"ns_per_flop\": $nsflop, \"allocs_per_op\": $allocs},
+"
+done
+spgemm_rows=$(printf '%s' "$spgemm_rows" | sed '$ s/,$//')
+
+cat > BENCH_spgemm.json <<EOF
+{
+  "benchmark": "SpGEMM C = A.A (symmetric random graph, 4096 nodes, avg degree 16) per execution mode",
+  "modes": [
+$spgemm_rows
+  ],
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_spgemm.json ($(echo "$spgemm_rows" | wc -l | tr -d ' ') execution-mode rows)"
+
 echo "==> go test -bench BenchmarkReorder ./internal/reorder"
 rout=$(go test -run='^$' -bench='^BenchmarkReorder$' \
 	-timeout 30m ./internal/reorder)

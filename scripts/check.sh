@@ -37,6 +37,9 @@ go test -run 'TestGolden' -count=1 ./internal/experiments
 echo "==> simulator differential: fast vs reference, full corpus x all kernels"
 go test -run 'TestDifferential|TestRunnerImplReference' -count=1 ./internal/experiments
 
+echo "==> SpGEMM differential gate: all execution modes vs the dense int64 oracle"
+go test -run 'TestSpGEMMDifferentialOracle|TestSpGEMMRelabelingInvariance|TestSpGEMMStrategiesBitIdentical' -count=1 ./internal/kernels
+
 echo "==> parallel suite smoke: cmd/experiments -workers=4"
 go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
 
@@ -59,6 +62,9 @@ go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
 echo "==> fuzz smoke: FuzzBobaValidPermutation / FuzzRCMPPValidPermutation (internal/reorder)"
 go test -run=NONE -fuzz=FuzzBobaValidPermutation -fuzztime=5s ./internal/reorder
 go test -run=NONE -fuzz=FuzzRCMPPValidPermutation -fuzztime=5s ./internal/reorder
+
+echo "==> fuzz smoke: FuzzSpGEMMValidCSR (internal/kernels)"
+go test -run=NONE -fuzz=FuzzSpGEMMValidCSR -fuzztime=5s ./internal/kernels
 
 echo "==> fuzz smoke: FuzzLRUFastVsReference (internal/cachesim differential)"
 go test -run=NONE -fuzz=FuzzLRUFastVsReference -fuzztime=5s ./internal/cachesim
