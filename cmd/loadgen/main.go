@@ -1,0 +1,522 @@
+// Command loadgen drives the reorderd async job API with a Zipf-skewed
+// matrix popularity distribution and reports latency, throughput, and
+// store-hit/forwarding ratios as JSON. It brings up its target peers
+// in-process (real listeners, real HTTP) so a single invocation can
+// compare a 1-peer deployment against a consistent-hash ring without any
+// external orchestration, and it measures the binary CSR wire format
+// against MatrixMarket (encoded bytes and parse time) over the same
+// matrix set.
+//
+// Usage:
+//
+//	loadgen [-peers 1,3] [-requests N] [-clients N] [-matrices N]
+//	        [-nodes N] [-degree N] [-zipf-s S] [-technique T]
+//	        [-workers N] [-seed N] [-out FILE] [-check]
+//
+// The -check flag turns the run into a self-asserting smoke test: it
+// fails unless the Zipf tail produced store hits and (on multi-peer
+// rings) round-robin submission produced cross-peer forwards. The check
+// script runs it at both ring sizes; bench.sh records the full output as
+// BENCH_serve.json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/gen"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// options collects the flag values of one invocation.
+type options struct {
+	peerCounts []int
+	requests   int
+	clients    int
+	matrices   int
+	nodes      int
+	degree     int
+	zipfS      float64
+	technique  string
+	workers    int
+	seed       uint64
+	out        string
+	selfCheck  bool
+}
+
+func parseFlags() (options, error) {
+	var (
+		peers     = flag.String("peers", "1,3", "comma-separated ring sizes to sweep (in-process peers per run)")
+		requests  = flag.Int("requests", 64, "job submissions per run")
+		clients   = flag.Int("clients", 4, "concurrent client goroutines")
+		matrices  = flag.Int("matrices", 8, "distinct matrices in the popularity distribution")
+		nodes     = flag.Int("nodes", 256, "nodes per generated matrix")
+		degree    = flag.Int("degree", 8, "average degree per generated matrix")
+		zipfS     = flag.Float64("zipf-s", 1.3, "Zipf exponent of matrix popularity (higher = more skew = more store hits)")
+		technique = flag.String("technique", "RABBIT++", "reordering technique requested for every job")
+		workers   = flag.Int("workers", 2, "reordering workers per peer")
+		seed      = flag.Uint64("seed", 1, "RNG seed for matrix generation and the request schedule")
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		selfCheck = flag.Bool("check", false, "fail unless the run saw store hits (and forwards on multi-peer rings)")
+	)
+	flag.Parse()
+	o := options{
+		requests: *requests, clients: *clients, matrices: *matrices,
+		nodes: *nodes, degree: *degree, zipfS: *zipfS,
+		technique: *technique, workers: *workers, seed: *seed,
+		out: *out, selfCheck: *selfCheck,
+	}
+	for _, tok := range strings.Split(*peers, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return o, fmt.Errorf("bad -peers entry %q", tok)
+		}
+		o.peerCounts = append(o.peerCounts, n)
+	}
+	if len(o.peerCounts) == 0 {
+		return o, fmt.Errorf("-peers selected no ring sizes")
+	}
+	if o.requests < 1 || o.clients < 1 || o.matrices < 1 {
+		return o, fmt.Errorf("-requests, -clients, and -matrices must be positive")
+	}
+	if o.zipfS <= 1 {
+		return o, fmt.Errorf("-zipf-s must be > 1, got %v", o.zipfS)
+	}
+	return o, nil
+}
+
+// wireReport compares the two upload encodings over the generated matrix
+// set: total encoded bytes and total single-threaded parse time.
+type wireReport struct {
+	Matrices        int     `json:"matrices"`
+	MMBytes         int64   `json:"mm_bytes"`
+	BinaryBytes     int64   `json:"binary_bytes"`
+	BytesRatio      float64 `json:"binary_to_mm_bytes_ratio"`
+	MMParseNs       int64   `json:"mm_parse_ns"`
+	BinaryParseNs   int64   `json:"binary_parse_ns"`
+	ParseSpeedup    float64 `json:"mm_to_binary_parse_speedup"`
+	ParseIterations int     `json:"parse_iterations"`
+}
+
+// runReport is one ring-size sweep point.
+type runReport struct {
+	Peers          int     `json:"peers"`
+	Requests       int     `json:"requests"`
+	Clients        int     `json:"clients"`
+	WallMs         float64 `json:"wall_ms"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	LatencyMeanMs  float64 `json:"latency_mean_ms"`
+	LatencyP50Ms   float64 `json:"latency_p50_ms"`
+	LatencyP90Ms   float64 `json:"latency_p90_ms"`
+	LatencyP99Ms   float64 `json:"latency_p99_ms"`
+	StoreHits      int64   `json:"store_hits"`
+	StoreHitRatio  float64 `json:"store_hit_ratio"`
+	Forwards       int64   `json:"forwards"`
+	CrossPeerRatio float64 `json:"cross_peer_ratio"`
+}
+
+// report is the full JSON document loadgen emits.
+type report struct {
+	Benchmark string      `json:"benchmark"`
+	ZipfS     float64     `json:"zipf_s"`
+	Technique string      `json:"technique"`
+	Wire      wireReport  `json:"wire"`
+	Runs      []runReport `json:"runs"`
+	HostCPUs  int         `json:"host_logical_cpus"`
+}
+
+func run() error {
+	o, err := parseFlags()
+	if err != nil {
+		return err
+	}
+
+	// Generate the matrix population once; every sweep point replays the
+	// same schedule against it so ring sizes are directly comparable.
+	mats, bodies, err := generateMatrices(o)
+	if err != nil {
+		return err
+	}
+	wire, err := measureWire(mats, bodies)
+	if err != nil {
+		return err
+	}
+	schedule := makeSchedule(o)
+
+	rep := report{
+		Benchmark: fmt.Sprintf("reorderd async job API under Zipf(s=%g) popularity over %d planted-partition matrices (%d nodes, avg degree %d)",
+			o.zipfS, o.matrices, o.nodes, o.degree),
+		ZipfS:     o.zipfS,
+		Technique: o.technique,
+		Wire:      wire,
+		HostCPUs:  runtime.NumCPU(),
+	}
+	for _, n := range o.peerCounts {
+		rr, err := runSweepPoint(o, n, bodies, schedule)
+		if err != nil {
+			return fmt.Errorf("%d-peer run: %w", n, err)
+		}
+		rep.Runs = append(rep.Runs, rr)
+		fmt.Fprintf(os.Stderr, "loadgen: peers=%d requests=%d p50=%.1fms p99=%.1fms store_hits=%d forwards=%d\n",
+			rr.Peers, rr.Requests, rr.LatencyP50Ms, rr.LatencyP99Ms, rr.StoreHits, rr.Forwards)
+	}
+
+	if o.selfCheck {
+		if err := selfCheck(rep); err != nil {
+			return err
+		}
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if o.out != "" {
+		return os.WriteFile(o.out, enc, 0o644)
+	}
+	_, err = os.Stdout.Write(enc)
+	return err
+}
+
+// generateMatrices builds the matrix population and its binary upload
+// bodies. Distinct seeds give distinct digests, so each matrix is its own
+// job-store entry.
+func generateMatrices(o options) ([]*sparse.CSR, [][]byte, error) {
+	if !check.FitsInt32(o.nodes) || !check.FitsInt32(o.degree) {
+		return nil, nil, fmt.Errorf("-nodes/-degree overflow int32")
+	}
+	mats := make([]*sparse.CSR, o.matrices)
+	bodies := make([][]byte, o.matrices)
+	for i := range mats {
+		g := gen.PlantedPartition{
+			Nodes:       check.SafeInt32(o.nodes),
+			Communities: 8,
+			AvgDegree:   check.SafeInt32(o.degree),
+			Mu:          0.1,
+		}
+		mats[i] = g.Generate(o.seed + uint64(i)*7919)
+		var buf bytes.Buffer
+		if err := sparse.WriteBinaryCSR(&buf, mats[i]); err != nil {
+			return nil, nil, err
+		}
+		bodies[i] = buf.Bytes()
+	}
+	return mats, bodies, nil
+}
+
+// measureWire encodes every matrix in both formats and times repeated
+// single-threaded parses of each, quantifying what the binary upload path
+// saves over MatrixMarket text.
+func measureWire(mats []*sparse.CSR, bodies [][]byte) (wireReport, error) {
+	const iters = 10
+	w := wireReport{Matrices: len(mats), ParseIterations: iters}
+	mmBodies := make([][]byte, len(mats))
+	for i, m := range mats {
+		var mm bytes.Buffer
+		if err := sparse.WriteMatrixMarket(&mm, m); err != nil {
+			return w, err
+		}
+		mmBodies[i] = mm.Bytes()
+		w.MMBytes += int64(mm.Len())
+		w.BinaryBytes += int64(len(bodies[i]))
+	}
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		for _, b := range mmBodies {
+			if _, err := sparse.ReadMatrixMarket(bytes.NewReader(b)); err != nil {
+				return w, err
+			}
+		}
+	}
+	w.MMParseNs = time.Since(start).Nanoseconds()
+	start = time.Now()
+	for it := 0; it < iters; it++ {
+		for _, b := range bodies {
+			if _, err := sparse.ReadBinaryCSR(bytes.NewReader(b)); err != nil {
+				return w, err
+			}
+		}
+	}
+	w.BinaryParseNs = time.Since(start).Nanoseconds()
+	if w.MMBytes > 0 {
+		w.BytesRatio = float64(w.BinaryBytes) / float64(w.MMBytes)
+	}
+	if w.BinaryParseNs > 0 {
+		w.ParseSpeedup = float64(w.MMParseNs) / float64(w.BinaryParseNs)
+	}
+	return w, nil
+}
+
+// makeSchedule fixes which matrix each request submits, drawn from the
+// Zipf popularity distribution, so every sweep point sees identical load.
+func makeSchedule(o options) []int {
+	r := gen.NewRNG(o.seed ^ 0x9e3779b97f4a7c15)
+	schedule := make([]int, o.requests)
+	for i := range schedule {
+		schedule[i] = int(r.Zipf(check.SafeInt32(o.matrices), o.zipfS))
+	}
+	return schedule
+}
+
+// peerGroup is one in-process ring: n servers on real listeners sharing a
+// static peer list.
+type peerGroup struct {
+	urls    []string
+	servers []*serve.Server
+	https   []*http.Server
+	client  *http.Client
+}
+
+// startPeers brings up the ring listener-first: every address is known
+// before any server is constructed, exactly like a static -peers
+// deployment.
+func startPeers(n int, cfg serve.Config) (*peerGroup, error) {
+	g := &peerGroup{client: &http.Client{}}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			g.stop()
+			return nil, err
+		}
+		listeners[i] = ln
+		g.urls = append(g.urls, "http://"+ln.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Self = g.urls[i]
+		c.Peers = append([]string{}, g.urls...)
+		c.ForwardClient = g.client
+		s := serve.New(c)
+		hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+		go hs.Serve(listeners[i])
+		g.servers = append(g.servers, s)
+		g.https = append(g.https, hs)
+	}
+	return g, nil
+}
+
+func (g *peerGroup) stop() {
+	g.client.CloseIdleConnections()
+	for _, hs := range g.https {
+		hs.Close()
+	}
+	for _, s := range g.servers {
+		s.Close()
+	}
+}
+
+// jobReply is the subset of the job API response loadgen consumes.
+type jobReply struct {
+	JobID    string `json:"job_id"`
+	Status   string `json:"status"`
+	StoreHit bool   `json:"store_hit"`
+	Error    string `json:"error"`
+}
+
+// runSweepPoint executes the request schedule against an n-peer ring and
+// aggregates latency and routing statistics.
+func runSweepPoint(o options, n int, bodies [][]byte, schedule []int) (runReport, error) {
+	group, err := startPeers(n, serve.Config{Workers: o.workers})
+	if err != nil {
+		return runReport{}, err
+	}
+	defer group.stop()
+
+	type job struct{ idx, mat int }
+	jobs := make(chan job)
+	latencies := make([]time.Duration, len(schedule))
+	var storeHits int64
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for c := 0; c < o.clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				// Round-robin entry peer: with n > 1 a large fraction of
+				// submissions lands on a non-owner and must forward.
+				base := group.urls[jb.idx%n]
+				t0 := time.Now()
+				hit, err := submitAndAwait(group.client, base, o.technique, bodies[jb.mat])
+				elapsed := time.Since(t0)
+				mu.Lock()
+				latencies[jb.idx] = elapsed
+				if hit {
+					storeHits++
+				}
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("request %d (matrix %d via %s): %w", jb.idx, jb.mat, base, err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i, mat := range schedule {
+		jobs <- job{idx: i, mat: mat}
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return runReport{}, firstErr
+	}
+
+	var forwards int64
+	for _, u := range group.urls {
+		f, err := scrapeCounter(group.client, u, "reorderd_forwards_total")
+		if err != nil {
+			return runReport{}, err
+		}
+		forwards += f
+	}
+
+	sorted := append([]time.Duration{}, latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	rr := runReport{
+		Peers:         n,
+		Requests:      len(schedule),
+		Clients:       o.clients,
+		WallMs:        float64(wall) / float64(time.Millisecond),
+		LatencyMeanMs: float64(total) / float64(len(sorted)) / float64(time.Millisecond),
+		LatencyP50Ms:  pct(0.50),
+		LatencyP90Ms:  pct(0.90),
+		LatencyP99Ms:  pct(0.99),
+		StoreHits:     storeHits,
+		Forwards:      forwards,
+	}
+	if wall > 0 {
+		rr.ThroughputRPS = float64(len(schedule)) / wall.Seconds()
+	}
+	rr.StoreHitRatio = float64(storeHits) / float64(len(schedule))
+	rr.CrossPeerRatio = float64(forwards) / float64(len(schedule))
+	return rr, nil
+}
+
+// submitAndAwait POSTs one job and polls it to completion, reporting
+// whether the submission was a store hit.
+func submitAndAwait(client *http.Client, base, technique string, body []byte) (bool, error) {
+	u := base + "/jobs?technique=" + strings.ReplaceAll(technique, "+", "%2B")
+	resp, err := client.Post(u, sparse.BinaryCSRContentType, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return false, fmt.Errorf("submit status %d: %s", resp.StatusCode, payload)
+	}
+	var jr jobReply
+	if err := json.Unmarshal(payload, &jr); err != nil {
+		return false, err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for jr.Status == "queued" || jr.Status == "running" {
+		if time.Now().After(deadline) {
+			return jr.StoreHit, fmt.Errorf("job %s stuck in %q", jr.JobID, jr.Status)
+		}
+		presp, err := client.Get(base + "/jobs/" + jr.JobID + "?wait=1000")
+		if err != nil {
+			return jr.StoreHit, err
+		}
+		ppayload, err := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if err != nil {
+			return jr.StoreHit, err
+		}
+		if presp.StatusCode != http.StatusOK {
+			return jr.StoreHit, fmt.Errorf("poll status %d: %s", presp.StatusCode, ppayload)
+		}
+		hit := jr.StoreHit
+		if err := json.Unmarshal(ppayload, &jr); err != nil {
+			return hit, err
+		}
+		jr.StoreHit = hit // polls never set the submit-time marker
+	}
+	if jr.Status != "done" {
+		return jr.StoreHit, fmt.Errorf("job %s failed: %s", jr.JobID, jr.Error)
+	}
+	return jr.StoreHit, nil
+}
+
+// scrapeCounter reads one un-labelled series from a peer's /metrics.
+func scrapeCounter(client *http.Client, base, series string) (int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, series+" ") {
+			return strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, series+" ")), 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("%s: series %s not found in /metrics", base, series)
+}
+
+// selfCheck turns the report into a pass/fail verdict for CI: the Zipf
+// tail must produce store hits, multi-peer rings must forward, and the
+// binary format must beat MatrixMarket on both bytes and parse time.
+func selfCheck(rep report) error {
+	for _, rr := range rep.Runs {
+		if rr.StoreHits == 0 {
+			return fmt.Errorf("check: %d-peer run saw zero store hits; Zipf resubmission is not exercising the store", rr.Peers)
+		}
+		if rr.Peers > 1 && rr.Forwards == 0 {
+			return fmt.Errorf("check: %d-peer run saw zero forwards; sharding is not routing", rr.Peers)
+		}
+	}
+	if rep.Wire.BytesRatio >= 1 {
+		return fmt.Errorf("check: binary encoding (%d bytes) is not smaller than MatrixMarket (%d bytes)",
+			rep.Wire.BinaryBytes, rep.Wire.MMBytes)
+	}
+	if rep.Wire.ParseSpeedup <= 1 {
+		return fmt.Errorf("check: binary parse (%d ns) is not faster than MatrixMarket (%d ns)",
+			rep.Wire.BinaryParseNs, rep.Wire.MMParseNs)
+	}
+	return nil
+}

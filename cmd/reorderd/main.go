@@ -5,14 +5,23 @@
 // reordering cost, the regime in which the paper's Figure 9 shows
 // community reordering pays for itself.
 //
+// Beyond the synchronous /reorder endpoint, the service exposes an async
+// job API (POST /jobs, GET /jobs/{id}) with content-addressed result
+// persistence, accepts a compact binary CSR upload format negotiated by
+// Content-Type, and can shard job ownership across a static peer ring
+// (-self/-peers) with transparent forwarding. docs/SERVING.md documents
+// the full surface.
+//
 // Usage:
 //
-//	reorderd [-addr :8377] [-workers N] [-queue N] [-cache N]
+//	reorderd [-addr :8377] [-workers N] [-queue N] [-cache N] [-store N]
 //	         [-max-body-bytes N] [-max-rows N] [-max-timeout D] [-preset small]
+//	         [-self URL -peers URL,URL,...]
 //
 // The -smoke flag runs an in-process self-test (start, reorder a small
-// matrix over real HTTP, validate the permutation, drain) and exits; the
-// check script uses it as the service smoke test.
+// matrix over real HTTP, validate the permutation, exercise the async job
+// API and binary upload path, drain) and exits; the check script uses it
+// as the service smoke test.
 package main
 
 import (
@@ -55,6 +64,9 @@ func run() error {
 		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "cap on per-request compute deadlines")
 		preset     = flag.String("preset", gen.Small.String(), "corpus preset for ?matrix= references (small|full)")
 		orderW     = flag.Int("order-workers", 1, "intra-job goroutines for parallel techniques (results identical at any count)")
+		storeN     = flag.Int("store", 1024, "async job store entries retained for GET /jobs/{id}")
+		self       = flag.String("self", "", "this peer's base URL in a sharded deployment (e.g. http://host:8377)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs forming the consistent-hash ring (include -self)")
 		smoke      = flag.Bool("smoke", false, "run an in-process self-test and exit")
 	)
 	flag.Parse()
@@ -70,11 +82,23 @@ func run() error {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheN,
+		StoreEntries: *storeN,
 		MaxBodyBytes: *maxBody,
 		MaxRows:      check.SafeInt32(*maxRows),
 		MaxJobTime:   *maxTimeout,
 		Preset:       p,
 		OrderWorkers: *orderW,
+		Self:         *self,
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self so this instance knows its own ring position")
+		}
+		for _, peer := range strings.Split(*peers, ",") {
+			if peer = strings.TrimSpace(peer); peer != "" {
+				cfg.Peers = append(cfg.Peers, peer)
+			}
+		}
 	}
 	if *smoke {
 		return runSmoke(cfg)
@@ -215,6 +239,46 @@ func runSmoke(cfg serve.Config) error {
 		}
 	}
 
+	// Async job API over the binary upload format: submit, poll to
+	// completion, and confirm a resubmission is a store hit with the same
+	// permutation.
+	var bin bytes.Buffer
+	if err := sparse.WriteBinaryCSR(&bin, m); err != nil {
+		return err
+	}
+	job, status, err := postJob(base, bin.Bytes())
+	if err != nil {
+		return fmt.Errorf("job submit: %w", err)
+	}
+	if status != http.StatusAccepted && status != http.StatusOK {
+		return fmt.Errorf("job submit: status %d", status)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status == "queued" || job.Status == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s did not complete in time", job.JobID)
+		}
+		if job, err = getJob(base, job.JobID); err != nil {
+			return fmt.Errorf("job poll: %w", err)
+		}
+	}
+	if job.Status != "done" || job.Result == nil {
+		return fmt.Errorf("job finished in state %q (error %q)", job.Status, job.Error)
+	}
+	if err := validatePerm(job.Result.Permutation, m.NumRows); err != nil {
+		return fmt.Errorf("job permutation: %w", err)
+	}
+	if fmt.Sprint(job.Result.Permutation) != fmt.Sprint(first.Permutation) {
+		return fmt.Errorf("async job and synchronous /reorder disagree on the permutation")
+	}
+	rejob, status, err := postJob(base, bin.Bytes())
+	if err != nil {
+		return fmt.Errorf("job resubmit: %w", err)
+	}
+	if status != http.StatusOK || !rejob.StoreHit {
+		return fmt.Errorf("job resubmit was not a store hit (status %d, store_hit %v)", status, rejob.StoreHit)
+	}
+
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		return err
@@ -269,6 +333,53 @@ type serveReply struct {
 
 func postReorder(base string, body []byte, out *serveReply) error {
 	return postReorderTech(base, "RABBIT", body, out)
+}
+
+// jobReply mirrors the async job API's JSON body.
+type jobReply struct {
+	JobID    string      `json:"job_id"`
+	Status   string      `json:"status"`
+	StoreHit bool        `json:"store_hit"`
+	Error    string      `json:"error"`
+	Result   *serveReply `json:"result"`
+}
+
+// postJob submits a binary-CSR body to the async job API using the same
+// technique the synchronous smoke requests use, so their permutations are
+// directly comparable.
+func postJob(base string, body []byte) (jobReply, int, error) {
+	resp, err := http.Post(base+"/jobs?technique=RABBIT", sparse.BinaryCSRContentType, bytes.NewReader(body))
+	if err != nil {
+		return jobReply{}, 0, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jobReply{}, resp.StatusCode, err
+	}
+	var out jobReply
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return out, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	return out, resp.StatusCode, json.Unmarshal(payload, &out)
+}
+
+// getJob long-polls one round of GET /jobs/{id}.
+func getJob(base, id string) (jobReply, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "?wait=1000")
+	if err != nil {
+		return jobReply{}, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jobReply{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return jobReply{}, fmt.Errorf("status %d: %s", resp.StatusCode, payload)
+	}
+	var out jobReply
+	return out, json.Unmarshal(payload, &out)
 }
 
 // fetchTechniques asks the running service for its registered technique

@@ -37,6 +37,12 @@ type metrics struct {
 	inFlight   int64 // HTTP requests currently being handled
 	perTech    map[string]*techStats
 
+	jobsSubmitted int64 // POST /jobs accepted submissions (including store hits)
+	storeHits     int64 // job submissions answered from the job store
+	forwards      int64 // requests forwarded to their ring owner
+	forwardErrors int64 // forwards that failed at the transport level
+	longPolls     int64 // GET /jobs/{id}?wait= requests that blocked
+
 	advisorRecs map[string]int64 // technique=auto recommendations by chosen technique
 	featCount   int64            // feature extractions actually performed (cache misses)
 	featTotalNs int64
@@ -73,6 +79,12 @@ func (m *metrics) cacheMissed() { m.mu.Lock(); m.cacheMiss++; m.mu.Unlock() }
 func (m *metrics) dedupWait()   { m.mu.Lock(); m.dedupWaits++; m.mu.Unlock() }
 func (m *metrics) queueShed()   { m.mu.Lock(); m.shedQueue++; m.mu.Unlock() }
 func (m *metrics) sizeShed()    { m.mu.Lock(); m.shedSize++; m.mu.Unlock() }
+
+func (m *metrics) jobSubmitted()  { m.mu.Lock(); m.jobsSubmitted++; m.mu.Unlock() }
+func (m *metrics) storeHit()      { m.mu.Lock(); m.storeHits++; m.mu.Unlock() }
+func (m *metrics) forwarded()     { m.mu.Lock(); m.forwards++; m.mu.Unlock() }
+func (m *metrics) forwardFailed() { m.mu.Lock(); m.forwardErrors++; m.mu.Unlock() }
+func (m *metrics) longPollWait()  { m.mu.Lock(); m.longPolls++; m.mu.Unlock() }
 
 // observeJob records one completed reordering job for the technique.
 func (m *metrics) observeJob(technique string, elapsed time.Duration, failed bool) {
@@ -127,10 +139,10 @@ func (m *metrics) snapshotCounters() (hits, misses int64) {
 	return m.cacheHits, m.cacheMiss
 }
 
-// render writes the exposition text. queueDepth and cacheLen are sampled
-// by the caller at render time (they live in the pool and cache, not
-// here).
-func (m *metrics) render(w io.Writer, queueDepth, cacheLen int) {
+// render writes the exposition text. queueDepth, cacheLen, and storeLen
+// are sampled by the caller at render time (they live in the pool, cache,
+// and job store, not here).
+func (m *metrics) render(w io.Writer, queueDepth, cacheLen, storeLen int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -165,6 +177,12 @@ func (m *metrics) render(w io.Writer, queueDepth, cacheLen int) {
 	fmt.Fprintf(w, "reorderd_dedup_waits_total %d\n", m.dedupWaits)
 	fmt.Fprintf(w, "reorderd_shed_queue_total %d\n", m.shedQueue)
 	fmt.Fprintf(w, "reorderd_shed_size_total %d\n", m.shedSize)
+	fmt.Fprintf(w, "reorderd_jobs_submitted_total %d\n", m.jobsSubmitted)
+	fmt.Fprintf(w, "reorderd_job_store_hits_total %d\n", m.storeHits)
+	fmt.Fprintf(w, "reorderd_job_store_entries %d\n", storeLen)
+	fmt.Fprintf(w, "reorderd_forwards_total %d\n", m.forwards)
+	fmt.Fprintf(w, "reorderd_forward_errors_total %d\n", m.forwardErrors)
+	fmt.Fprintf(w, "reorderd_longpoll_waits_total %d\n", m.longPolls)
 
 	recs := make([]string, 0, len(m.advisorRecs))
 	for name := range m.advisorRecs {

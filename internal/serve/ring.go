@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual nodes each peer contributes to the
+// consistent-hash ring. 64 vnodes keep the ownership share of N peers
+// within a few percent of 1/N while the ring stays small enough that an
+// owner lookup is a binary search over N*64 entries.
+const ringReplicas = 64
+
+// ring maps content keys (matrix digest hex) to owning peers by
+// consistent hashing. Every peer builds the same ring from the same peer
+// list — the peer set is sorted before vnode placement, so list order
+// does not matter — which lets any peer compute any key's owner locally
+// and forward without coordination. Adding or removing one peer moves
+// only ~1/N of the key space, preserving the digest×technique caches on
+// the surviving peers.
+type ring struct {
+	self   string
+	peers  []string // sorted, deduplicated
+	vnodes []vnode  // sorted by hash
+}
+
+// vnode is one virtual node: a point on the hash circle owned by a peer.
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+// newRing builds the ring for the sorted, deduplicated peer list. self
+// must be one of the peers (Config normalization guarantees it).
+func newRing(self string, peers []string) *ring {
+	uniq := make([]string, 0, len(peers))
+	seen := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	sort.Strings(uniq)
+	r := &ring{self: self, peers: uniq}
+	r.vnodes = make([]vnode, 0, len(uniq)*ringReplicas)
+	for _, p := range uniq {
+		for i := 0; i < ringReplicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: ringHash(p + "#" + strconv.Itoa(i)), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		// Hash collisions between vnodes are broken by peer name so every
+		// ring instance agrees on the owner.
+		return r.vnodes[a].peer < r.vnodes[b].peer
+	})
+	return r
+}
+
+// owner returns the peer owning the key: the first vnode clockwise from
+// the key's hash (wrapping at the top of the circle).
+func (r *ring) owner(key string) string {
+	if r == nil || len(r.vnodes) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].peer
+}
+
+// isSelf reports whether this peer owns the key. A nil ring (single-node
+// deployment) owns everything.
+func (r *ring) isSelf(key string) bool {
+	return r == nil || r.owner(key) == r.self
+}
+
+// ringHash is the ring's hash function: FNV-1a 64 run through a
+// splitmix64-style finalizer. FNV alone clusters badly on the short,
+// similar vnode labels (peer URLs differing in one port digit), skewing
+// ownership; the avalanche step spreads those clusters over the circle.
+// Only uniform dispersion matters, not cryptographic strength — ownership
+// is a performance routing decision, never a security boundary.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

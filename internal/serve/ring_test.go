@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOrderIndependence: every peer must compute the same owner for
+// every key regardless of the order its -peers flag listed them, or
+// forwarding would loop between peers with different views.
+func TestRingOrderIndependence(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	orders := [][]string{
+		{peers[0], peers[1], peers[2]},
+		{peers[2], peers[0], peers[1]},
+		{peers[1], peers[2], peers[0], peers[0]}, // duplicate must collapse
+	}
+	rings := make([]*ring, len(orders))
+	for i, o := range orders {
+		rings[i] = newRing(peers[0], o)
+	}
+	for k := 0; k < 512; k++ {
+		key := fmt.Sprintf("key-%04d", k)
+		want := rings[0].owner(key)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].owner(key); got != want {
+				t.Fatalf("peer-list order %d disagrees on owner(%q): %s vs %s", i, key, got, want)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per peer, a 3-peer ring should spread
+// keys within a loose factor of the ideal 1/3 share — not a tight bound,
+// just a guard against a broken hash collapsing everything onto one peer.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := newRing(peers[0], peers)
+	counts := map[string]int{}
+	const keys = 3000
+	for k := 0; k < keys; k++ {
+		counts[r.owner(fmt.Sprintf("digest-%05d", k))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("peer %s owns %.0f%% of keys; ring is badly unbalanced: %v", p, share*100, counts)
+		}
+	}
+}
+
+// TestRingStability: adding a peer moves only a minority of keys — the
+// property that preserves each surviving peer's digest-keyed caches.
+func TestRingStability(t *testing.T) {
+	base := []string{"http://a:1", "http://b:2", "http://c:3"}
+	grown := append(append([]string{}, base...), "http://d:4")
+	r3, r4 := newRing(base[0], base), newRing(base[0], grown)
+	moved := 0
+	const keys = 3000
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("digest-%05d", k)
+		if r3.owner(key) != r4.owner(key) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / keys; frac > 0.5 {
+		t.Fatalf("adding one peer to three moved %.0f%% of keys; expected roughly 1/4", frac*100)
+	}
+}
+
+// TestRingNilSingleNode: a nil ring (single-node deployment) owns every
+// key, so no request is ever forwarded.
+func TestRingNilSingleNode(t *testing.T) {
+	var r *ring
+	if !r.isSelf("anything") {
+		t.Fatal("nil ring must own every key")
+	}
+	if r.owner("anything") != "" {
+		t.Fatal("nil ring owner should be empty")
+	}
+}

@@ -11,10 +11,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -64,6 +66,22 @@ type Config struct {
 	// are byte-identical at any OrderWorkers value, so the cache never
 	// keys on it.
 	OrderWorkers int
+	// Self is this peer's advertised base URL (e.g. "http://10.0.0.1:8377"),
+	// required for sharding: peers compare ring owners against it and stamp
+	// it into job responses. Empty disables sharding (single-node mode).
+	Self string
+	// Peers is the static full peer list for consistent-hash job sharding,
+	// Self included (it is appended when missing). Order is irrelevant —
+	// every peer sorts the list before building its ring, so all peers
+	// agree on ownership. Empty (or Self empty) means single-node.
+	Peers []string
+	// StoreEntries bounds completed jobs retained by the content-addressed
+	// job store (default 1024). Queued/running jobs are never evicted.
+	StoreEntries int
+	// ForwardClient issues cross-peer forwards (default: a dedicated
+	// http.Client; per-request deadlines come from the inbound request
+	// context). Tests inject instrumented clients through it.
+	ForwardClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +115,36 @@ func (c Config) withDefaults() Config {
 	if c.OrderWorkers < 1 {
 		c.OrderWorkers = 1
 	}
+	if c.StoreEntries <= 0 {
+		c.StoreEntries = 1024
+	}
+	if c.ForwardClient == nil {
+		c.ForwardClient = &http.Client{}
+	}
+	c.Self = strings.TrimSuffix(c.Self, "/")
+	if c.Self == "" {
+		// Sharding needs a self identity to compare ring owners against;
+		// without one the peer list cannot be used.
+		c.Peers = nil
+	}
+	if len(c.Peers) > 0 {
+		peers := make([]string, 0, len(c.Peers)+1)
+		selfListed := false
+		for _, p := range c.Peers {
+			p = strings.TrimSuffix(p, "/")
+			if p == "" {
+				continue
+			}
+			if p == c.Self {
+				selfListed = true
+			}
+			peers = append(peers, p)
+		}
+		if !selfListed {
+			peers = append(peers, c.Self)
+		}
+		c.Peers = peers
+	}
 	return c
 }
 
@@ -111,6 +159,8 @@ type Server struct {
 	features *lruCache // digest → advisor.Features (technique=auto)
 	matrices *matrixCache
 	metrics  *metrics
+	store    *jobStore
+	ring     *ring // nil in single-node mode (every key is self-owned)
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
@@ -187,9 +237,16 @@ func New(cfg Config) *Server {
 		features: newLRUCache(cfg.CacheEntries),
 		matrices: newMatrixCache(cfg.MatrixCacheEntries),
 		metrics:  newMetrics(),
+		store:    newJobStore(cfg.StoreEntries),
 		flights:  make(map[string]*flight),
 	}
+	if len(cfg.Peers) > 1 {
+		s.ring = newRing(cfg.Self, cfg.Peers)
+	}
 	s.mux.HandleFunc("/reorder", s.handleReorder)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJobGet)
+	s.mux.HandleFunc("/ring", s.handleRing)
 	s.mux.HandleFunc("/techniques", s.handleTechniques)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -248,7 +305,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.metrics.render(w, s.pool.depth(), s.cache.len())
+	s.metrics.render(w, s.pool.depth(), s.cache.len(), s.store.len())
 }
 
 func (s *Server) handleTechniques(w http.ResponseWriter, _ *http.Request) {
@@ -314,7 +371,7 @@ func (s *Server) handleReorder(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	m, matrixName, err := s.requestMatrix(w, r)
+	m, matrixName, _, err := s.requestMatrix(w, r)
 	if err != nil {
 		status := http.StatusBadRequest
 		var maxErr *http.MaxBytesError
@@ -425,9 +482,12 @@ func (s *Server) advise(ctx context.Context, m *sparse.CSR) (advisor.Recommendat
 var errUnknownMatrix = errors.New("serve: unknown corpus matrix")
 
 // requestMatrix produces the request's matrix: a corpus reference via
-// ?matrix=<name>, or an uploaded MatrixMarket body bounded by the
-// configured byte and dimension limits.
-func (s *Server) requestMatrix(w http.ResponseWriter, r *http.Request) (*sparse.CSR, string, error) {
+// ?matrix=<name>, or an uploaded body bounded by the configured byte and
+// dimension limits. The upload format is negotiated by Content-Type —
+// sparse.BinaryCSRContentType selects the binary CSR codec, anything else
+// parses as MatrixMarket text. The raw upload bytes are returned alongside
+// so the sharding layer can forward a request without re-encoding.
+func (s *Server) requestMatrix(w http.ResponseWriter, r *http.Request) (*sparse.CSR, string, []byte, error) {
 	if name := r.URL.Query().Get("matrix"); name != "" {
 		preset := s.cfg.Preset
 		switch p := r.URL.Query().Get("preset"); p {
@@ -437,28 +497,48 @@ func (s *Server) requestMatrix(w http.ResponseWriter, r *http.Request) (*sparse.
 		case gen.Full.String():
 			preset = gen.Full
 		default:
-			return nil, "", fmt.Errorf("serve: unknown preset %q", p)
+			return nil, "", nil, fmt.Errorf("serve: unknown preset %q", p)
 		}
 		m, err := s.matrices.get(name, preset)
 		if err != nil {
-			return nil, "", fmt.Errorf("%w: %q", errUnknownMatrix, name)
+			return nil, "", nil, fmt.Errorf("%w: %q", errUnknownMatrix, name)
 		}
-		return m, name, nil
+		return m, name, nil, nil
 	}
 	if r.Body == nil || r.Method == http.MethodGet {
-		return nil, "", errors.New("serve: POST a MatrixMarket body or pass ?matrix=<corpus name>")
+		return nil, "", nil, errors.New("serve: POST a matrix body or pass ?matrix=<corpus name>")
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
-	m, err := sparse.ReadMatrixMarketLimited(body, sparse.MMLimits{
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	limits := sparse.MMLimits{
 		MaxRows:    s.cfg.MaxRows,
 		MaxCols:    s.cfg.MaxRows,
 		MaxEntries: s.cfg.MaxEntries,
-	})
-	if err != nil {
-		return nil, "", err
 	}
-	return m, "", nil
+	var m *sparse.CSR
+	if uploadIsBinary(r.Header.Get("Content-Type")) {
+		m, err = sparse.ReadBinaryCSRLimited(bytes.NewReader(raw), limits)
+	} else {
+		m, err = sparse.ReadMatrixMarketLimited(bytes.NewReader(raw), limits)
+	}
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return m, "", raw, nil
+}
+
+// uploadIsBinary reports whether the Content-Type selects the binary CSR
+// codec. Parameters (charset etc.) are ignored; only the media type counts.
+func uploadIsBinary(contentType string) bool {
+	mt := contentType
+	if i := strings.IndexByte(mt, ';'); i >= 0 {
+		mt = mt[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(mt), sparse.BinaryCSRContentType)
 }
 
 // compute serves the keyed result: LRU hit, singleflight piggyback on an

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Job lifecycle states reported by the job API. A job moves strictly
+// queued → running → done|failed; completed jobs stay resident in the
+// store (the content-addressed result persistence layer) until evicted by
+// capacity pressure, so a resubmitted matrix is a store hit, not a
+// recompute.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// storedJob is one entry of the job store. Identity fields (id, key,
+// digest, technique, quality, done, submitted) are immutable after
+// creation; lifecycle fields (status, res, errMsg, completedMS) are
+// written only by jobStore methods holding the store mutex, and readers
+// take a snapshot under the same mutex.
+type storedJob struct {
+	id        string
+	key       string // cache key: digest|technique(|noq)
+	digest    string
+	technique string
+	quality   bool
+	done      chan struct{} // closed exactly once, on completion
+	submitted time.Time
+
+	status      string
+	res         *reorderResult
+	errMsg      string
+	completedMS float64 // wall time from submit to completion
+}
+
+// jobSnapshot is an immutable copy of a job's state, safe to use without
+// holding the store lock.
+type jobSnapshot struct {
+	ID          string
+	Digest      string
+	Technique   string
+	Status      string
+	Res         *reorderResult
+	ErrMsg      string
+	CompletedMS float64
+}
+
+// jobStore is the content-addressed job index: job IDs are derived from
+// the matrix digest and technique, so identical submissions collapse onto
+// one entry regardless of which client (or forwarding peer) sent them.
+// Completed jobs are retained LRU-bounded by capacity; queued and running
+// jobs are never evicted (the worker queue depth bounds how many can
+// exist).
+type jobStore struct {
+	mu       sync.Mutex
+	capacity int
+	byID     map[string]*list.Element
+	order    *list.List // front = most recently touched; stores *storedJob
+}
+
+// newJobStore returns an empty store retaining up to capacity jobs.
+func newJobStore(capacity int) *jobStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &jobStore{
+		capacity: capacity,
+		byID:     make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// getOrCreate returns the job for id, creating it in the queued state when
+// absent. The returned bool reports whether the job already existed — the
+// store-hit signal.
+func (st *jobStore) getOrCreate(id, key, digest, technique string, quality bool) (*storedJob, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.byID[id]; ok {
+		st.order.MoveToFront(el)
+		return el.Value.(*storedJob), true
+	}
+	j := &storedJob{
+		id:        id,
+		key:       key,
+		digest:    digest,
+		technique: technique,
+		quality:   quality,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+		status:    jobQueued,
+	}
+	st.byID[id] = st.order.PushFront(j)
+	st.evictLocked()
+	return j, false
+}
+
+// get returns the job for id, refreshing its recency, or nil.
+func (st *jobStore) get(id string) *storedJob {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return nil
+	}
+	st.order.MoveToFront(el)
+	return el.Value.(*storedJob)
+}
+
+// remove drops a job that never started (queue saturation rollback) so a
+// later resubmission is not stuck observing a job nobody will run.
+func (st *jobStore) remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.byID[id]; ok {
+		st.order.Remove(el)
+		delete(st.byID, id)
+	}
+}
+
+// setRunning transitions the job to running.
+func (st *jobStore) setRunning(j *storedJob) {
+	st.mu.Lock()
+	j.status = jobRunning
+	st.mu.Unlock()
+}
+
+// complete finishes the job with a result or an error, records the wall
+// time since submission, and wakes every long-poll waiter by closing done.
+func (st *jobStore) complete(j *storedJob, res *reorderResult, err error) {
+	st.mu.Lock()
+	if err != nil {
+		j.status = jobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.status = jobDone
+		j.res = res
+	}
+	j.completedMS = float64(time.Since(j.submitted)) / float64(time.Millisecond)
+	st.mu.Unlock()
+	close(j.done)
+}
+
+// snapshot copies the job's current state under the store lock.
+func (st *jobStore) snapshot(j *storedJob) jobSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return jobSnapshot{
+		ID:          j.id,
+		Digest:      j.digest,
+		Technique:   j.technique,
+		Status:      j.status,
+		Res:         j.res,
+		ErrMsg:      j.errMsg,
+		CompletedMS: j.completedMS,
+	}
+}
+
+// len returns the number of resident jobs (all states).
+func (st *jobStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.order.Len()
+}
+
+// evictLocked removes least-recently-touched completed jobs until the
+// store fits its capacity. Incomplete jobs are skipped: their done channel
+// is the long-poll wakeup and their entry is the dedup point, so dropping
+// one would orphan waiters and re-run work.
+func (st *jobStore) evictLocked() {
+	for st.order.Len() > st.capacity {
+		evicted := false
+		for el := st.order.Back(); el != nil; el = el.Prev() {
+			j := el.Value.(*storedJob)
+			if j.status == jobDone || j.status == jobFailed {
+				st.order.Remove(el)
+				delete(st.byID, j.id)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // nothing evictable; allow transient overshoot
+		}
+	}
+}

@@ -9,11 +9,11 @@ import (
 // any order and may contain duplicates until Compact is called; ToCSR
 // compacts implicitly.
 type COO struct {
-	NumRows int32
-	NumCols int32
-	RowIdx  []int32
-	ColIdx  []int32
-	Values  []float32
+	NumRows int32     // row count
+	NumCols int32     // column count
+	RowIdx  []int32   // row index per entry
+	ColIdx  []int32   // column index per entry, parallel to RowIdx
+	Values  []float32 // value per entry; duplicates sum on Compact
 }
 
 // NewCOO returns an empty COO matrix of the given shape with capacity for

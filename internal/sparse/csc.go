@@ -4,11 +4,11 @@ package sparse
 // transpose layout of CSR. Pull-style kernels (accumulating each output
 // element from a column sweep) and column-slicing operations use it.
 type CSC struct {
-	NumRows    int32
-	NumCols    int32
-	ColOffsets []int32
-	RowIndices []int32
-	Values     []float32
+	NumRows    int32     // row count; every RowIndices entry is < NumRows
+	NumCols    int32     // column count; ColOffsets has NumCols+1 entries
+	ColOffsets []int32   // column c's entries span [ColOffsets[c], ColOffsets[c+1])
+	RowIndices []int32   // row index per nonzero, sorted and unique within a column
+	Values     []float32 // value per nonzero, parallel to RowIndices
 }
 
 // NNZ returns the number of stored nonzeros.

@@ -21,11 +21,11 @@ import (
 // of Values). Column indices within a row are kept sorted and unique by all
 // constructors in this package.
 type CSR struct {
-	NumRows    int32
-	NumCols    int32
-	RowOffsets []int32
-	ColIndices []int32
-	Values     []float32
+	NumRows    int32     // row count; RowOffsets has NumRows+1 entries
+	NumCols    int32     // column count; every ColIndices entry is < NumCols
+	RowOffsets []int32   // row r's entries span [RowOffsets[r], RowOffsets[r+1])
+	ColIndices []int32   // column index per nonzero, sorted and unique within a row
+	Values     []float32 // value per nonzero, parallel to ColIndices
 }
 
 // NNZ returns the number of stored nonzeros.

@@ -29,9 +29,9 @@ var ErrTooLarge = errors.New("sparse: matrix exceeds size limits")
 // header cannot force gigabytes of row-offset storage on a trusted-input
 // code path.
 type MMLimits struct {
-	MaxRows    int32
-	MaxCols    int32
-	MaxEntries int
+	MaxRows    int32 // maximum declared rows; 0 = unlimited
+	MaxCols    int32 // maximum declared columns; 0 = unlimited
+	MaxEntries int   // maximum declared entries (pre-expansion); 0 = unlimited
 }
 
 // check returns an ErrTooLarge-wrapping error when the declared sizes

@@ -197,3 +197,8 @@ $reorder_rows
 EOF
 
 echo "==> BENCH_reorder.json ($(echo "$reorder_rows" | wc -l | tr -d ' ') technique/worker rows)"
+
+echo "==> cmd/loadgen serving benchmark (async job API, 1-peer vs 3-peer ring)"
+go run ./cmd/loadgen -peers 1,3 -requests 96 -clients 4 -matrices 8 \
+	-nodes 256 -check -out BENCH_serve.json
+echo "==> BENCH_serve.json (latency/hit-ratio/forwarding curves + binary-vs-MM wire comparison)"

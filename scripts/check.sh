@@ -43,11 +43,20 @@ go test -run 'TestSpGEMMDifferentialOracle|TestSpGEMMRelabelingInvariance|TestSp
 echo "==> parallel suite smoke: cmd/experiments -workers=4"
 go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
 
-echo "==> lint: internal/serve (service code must be suppression-free)"
-go run ./cmd/lint ./internal/serve
+echo "==> lint: internal/serve + internal/sparse (contract surface must be suppression-free)"
+go run ./cmd/lint ./internal/serve ./internal/sparse
 
-echo "==> reorderd service smoke (in-process HTTP round trip)"
+echo "==> reorderd service smoke (in-process HTTP round trip, sync + async job API)"
 go run ./cmd/reorderd -smoke
+
+echo "==> binary CSR wire-format gate (golden bytes, round trips, truncation corpus)"
+go test -race -run 'TestBinaryCSR' -count=1 ./internal/sparse
+
+echo "==> async job + ring gates under -race (lifecycle, long-poll, store hit, 3-peer forwarding determinism)"
+go test -race -run 'TestJob|TestRing|TestThreePeerForwardingDeterminism|TestReorderBinaryUpload' -count=1 ./internal/serve
+
+echo "==> loadgen smoke: 1-peer and 3-peer in-process rings (asserts store hits + cross-peer forwards)"
+go run ./cmd/loadgen -peers 1,3 -requests 32 -clients 4 -matrices 6 -nodes 128 -check >/dev/null
 
 echo "==> fuzz smoke: FuzzValidCSR / FuzzValidPermutation (internal/check)"
 go test -run=NONE -fuzz=FuzzValidCSR -fuzztime=5s ./internal/check
@@ -58,6 +67,9 @@ go test -run=NONE -fuzz=FuzzRabbitRoundTrip -fuzztime=5s ./internal/core
 
 echo "==> fuzz smoke: FuzzReorderHandler (internal/serve)"
 go test -run=NONE -fuzz=FuzzReorderHandler -fuzztime=5s ./internal/serve
+
+echo "==> fuzz smoke: FuzzBinaryCSRRoundTrip (internal/sparse wire format)"
+go test -run=NONE -fuzz=FuzzBinaryCSRRoundTrip -fuzztime=5s ./internal/sparse
 
 echo "==> fuzz smoke: FuzzBobaValidPermutation / FuzzRCMPPValidPermutation (internal/reorder)"
 go test -run=NONE -fuzz=FuzzBobaValidPermutation -fuzztime=5s ./internal/reorder

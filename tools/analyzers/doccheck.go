@@ -7,19 +7,20 @@ import (
 // DocCheck flags exported declarations without a doc comment in the
 // packages whose godoc the repository treats as API contract: the cache
 // simulator, the trace generators, the host kernels, the HTTP service,
-// the technique advisor, the experiment harness, and the analyzer
-// framework itself. Those packages
-// promise units (bytes, line IDs, accesses) and determinism guarantees in
-// their doc comments, and the differential-testing story depends on readers
-// being able to trust them; an undocumented exported symbol is a contract
-// with no text. scripts/check.sh runs this via cmd/lint.
+// the sparse formats and their wire encodings, the technique advisor,
+// the experiment harness, and the analyzer framework itself. Those
+// packages promise units (bytes, line IDs, accesses), wire layouts, and
+// determinism guarantees in their doc comments, and the
+// differential-testing story depends on readers being able to trust
+// them; an undocumented exported symbol is a contract with no text.
+// scripts/check.sh runs this via cmd/lint.
 var DocCheck = &Analyzer{
 	Name: "doccheck",
 	Doc:  "flags undocumented exported symbols in contract packages",
 	Packages: []string{
 		"internal/cachesim", "internal/trace", "internal/serve",
-		"internal/advisor", "internal/experiments", "internal/kernels",
-		"tools/analyzers",
+		"internal/sparse", "internal/advisor", "internal/experiments",
+		"internal/kernels", "tools/analyzers",
 	},
 	Run: runDocCheck,
 }
