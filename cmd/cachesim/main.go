@@ -7,6 +7,7 @@
 //	         [-kernel spmv-csr|spmv-coo|spmm-4|spmm-256|spgemm|spgemm-cluster]
 //	         [-l2 262144] [-line 128] [-ways 16] [-belady] [-workers n]
 //	         [-impl fast|reference]
+//	         [-devices K] [-partition rowblock|metis|community]
 //
 // Techniques are reordered and simulated concurrently on a bounded worker
 // pool (-workers, default all CPUs); the table rows keep the -techniques
@@ -14,6 +15,12 @@
 // implementation: the arena/streaming fast path (default) or the seed
 // reference implementation, which produces bit-identical numbers and
 // exists for differential checks.
+//
+// -devices K > 1 switches to the multi-device model: the L2 splits into K
+// private caches, rows are assigned to devices by -partition (over the
+// reordered matrix), and the table reports remote-traffic fraction and
+// per-device load imbalance instead of dead lines. Belady and the
+// spgemm-cluster kernel have no multi-device counterpart.
 package main
 
 import (
@@ -26,8 +33,11 @@ import (
 	"sync"
 
 	"repro/internal/cachesim"
+	"repro/internal/core"
 	"repro/internal/gpumodel"
 	"repro/internal/kernels"
+	"repro/internal/multidev"
+	"repro/internal/partition"
 	"repro/internal/reorder"
 	"repro/internal/report"
 	"repro/internal/sparse"
@@ -52,6 +62,8 @@ func run() error {
 		belady  = flag.Bool("belady", false, "also simulate Belady-optimal replacement")
 		workers = flag.Int("workers", 0, "concurrent technique simulations (0 = all CPUs, 1 = serial)")
 		impl    = flag.String("impl", "fast", "simulator implementation: fast or reference (differential check)")
+		devices = flag.Int("devices", 1, "simulated compute devices with private L2 slices (1 = flat single L2)")
+		part    = flag.String("partition", "rowblock", "row->device partitioner for -devices > 1: rowblock, metis, community")
 	)
 	flag.Parse()
 	simImpl, err := cachesim.ParseImpl(*impl)
@@ -88,6 +100,22 @@ func run() error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
+	if *devices < 1 {
+		return fmt.Errorf("-devices must be >= 1, got %d", *devices)
+	}
+	if *devices > 1 {
+		switch *part {
+		case "rowblock", "metis", "community":
+		default:
+			return fmt.Errorf("unknown partitioner %q (want rowblock, metis, or community)", *part)
+		}
+		if *belady {
+			return fmt.Errorf("-belady has no multi-device counterpart; drop it or use -devices 1")
+		}
+		if k.Kind == gpumodel.SpGEMMCSRCluster {
+			return fmt.Errorf("kernel %s has no multi-device trace; use -kernel spgemm", *kernel)
+		}
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -113,10 +141,15 @@ func run() error {
 	}
 
 	cols := []string{"technique", "traffic", "hit-rate", "dead-lines"}
+	title := fmt.Sprintf("%s on %s (%d rows, %d nnz), L2 %dKB", k.String(), *in, n, nnz, *l2>>10)
+	if *devices > 1 {
+		cols = []string{"technique", "traffic", "hit-rate", "remote%", "imbalance", "max-dev"}
+		title = fmt.Sprintf("%s, %d devices (%s split)", title, *devices, *part)
+	}
 	if *belady {
 		cols = append(cols, "belady-traffic")
 	}
-	tb := report.New(fmt.Sprintf("%s on %s (%d rows, %d nnz), L2 %dKB", k.String(), *in, n, nnz, *l2>>10), cols...)
+	tb := report.New(title, cols...)
 
 	traceFor := func(pm *sparse.CSR) func(func(int64)) {
 		switch k.Kind {
@@ -139,6 +172,33 @@ func run() error {
 			return trace.SpMVCSR(pm, *line)
 		}
 	}
+	// ownerFor assigns each row of the reordered matrix to a device.
+	ownerFor := func(pm *sparse.CSR) []int32 {
+		switch *part {
+		case "metis":
+			return partition.Partition(pm, partition.Options{Parts: int32(*devices)})
+		case "community":
+			return partition.FromCommunities(core.Rabbit(pm).Communities, int32(*devices))
+		default:
+			return partition.RowBlocks(pm.NumRows, int32(*devices))
+		}
+	}
+	ownedTraceFor := func(pm *sparse.CSR, owner []int32) trace.OwnedTrace {
+		switch k.Kind {
+		case gpumodel.SpMVCOO:
+			return trace.SpMVCOOOwned(sparse.CSRToCOO(pm), owner, *line)
+		case gpumodel.SpMMCSR:
+			return trace.SpMMCSROwned(pm, k.K, owner, *line)
+		case gpumodel.SpGEMMCSR:
+			pinfo, err := kernels.SpGEMMSymbolic(pm, pm)
+			if err != nil {
+				panic(err)
+			}
+			return trace.SpGEMMOwned(pm, pm, pinfo.RowNNZ, owner, *line)
+		default:
+			return trace.SpMVCSROwned(pm, owner, *line)
+		}
+	}
 	// Reorder and simulate the techniques concurrently; rows land in
 	// their -techniques slot so output order is deterministic.
 	names := strings.Split(*techs, ",")
@@ -159,6 +219,19 @@ func run() error {
 				return
 			}
 			pm := m.PermuteSymmetric(t.Order(m))
+			if *devices > 1 {
+				mcfg := multidev.Config{Devices: *devices, L2: cfg.Split(*devices), Impl: simImpl}
+				mds := multidev.Simulate(mcfg, ownedTraceFor(pm, ownerFor(pm)))
+				rows[i] = []string{
+					t.Name(),
+					report.X(gpumodel.NormalizedTraffic(mds.Flat(), k, n, nnz)),
+					report.Pct(mds.Flat().HitRate()),
+					report.Pct(mds.RemoteFraction()),
+					report.F(mds.Imbalance()),
+					report.Bytes(mds.MaxDeviceTrafficBytes()),
+				}
+				return
+			}
 			s := cachesim.SimulateLRUWith(cfg, simImpl, traceFor(pm))
 			row := []string{
 				t.Name(),

@@ -45,6 +45,29 @@ func (c Config) Sets() int64 {
 	return c.CapacityBytes / (c.LineBytes * int64(c.Ways))
 }
 
+// Split returns the private-cache geometry of one of k equal tiles of
+// this cache: the capacity divided by k and rounded down to the nearest
+// multiple of LineBytes*Ways so the set count stays integral, with a
+// floor of one set. Split(1) returns the receiver unchanged, which is
+// what makes the K=1 multi-device simulation bit-identical to the flat
+// path. k must be positive.
+func (c Config) Split(k int) Config {
+	if k <= 0 {
+		panic(fmt.Sprintf("cachesim: Config.Split(%d)", k))
+	}
+	if k == 1 {
+		return c
+	}
+	setBytes := c.LineBytes * int64(c.Ways)
+	capacity := c.CapacityBytes / int64(k) / setBytes * setBytes
+	if capacity < setBytes {
+		capacity = setBytes
+	}
+	out := c
+	out.CapacityBytes = capacity
+	return out
+}
+
 // Validate returns an error for inexpressible geometries.
 func (c Config) Validate() error {
 	if c.CapacityBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {

@@ -321,6 +321,8 @@ func Ablations() []Experiment {
 		{ID: "abl-pushpull", Paper: "Ablation: push vs pull SpMV", Run: AblPushPull},
 		{ID: "spgemm", Paper: "SpGEMM generality across techniques (arXiv 2507.21253 extension)", Run: SpGEMMTable},
 		{ID: "abl-spgemm", Paper: "Ablation: SpGEMM cluster-wise vs row-wise execution", Run: AblSpGEMMCluster},
+		{ID: "multidev", Paper: "Multi-device: run time vs device count (K private L2s)", Run: MultiDevTable},
+		{ID: "abl-multidev", Paper: "Ablation: multi-device partition interaction (help or hurt)", Run: AblMultiDev},
 		{ID: "advisor", Paper: "Advisor: feature-based technique selection", Run: AdvisorEval},
 	}
 }

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // reductions, and the committed advisor model's behaviour — if the
 // scheduler ever reordered an aggregation, dropped a unit, or the advisor
 // artifact drifted from its features, at least one of these drifts.
-var goldenExperiments = []string{"fig2", "table2", "obs", "advisor", "abl-spgemm"}
+var goldenExperiments = []string{"fig2", "table2", "obs", "advisor", "abl-spgemm", "multidev", "abl-multidev"}
 
 // TestGolden regenerates each pinned experiment on the Small-corpus test
 // subset at Workers=1 (the historical serial behaviour) and at
@@ -42,6 +42,15 @@ func TestGolden(t *testing.T) {
 			for _, id := range goldenExperiments {
 				id := id
 				t.Run(id, func(t *testing.T) {
+					// The multidev sweep (full registry x K x SpMV+SpGEMM,
+					// twice) is the one golden whose ~5x race slowdown blows
+					// the -race suite's timeout. Its determinism is still
+					// pinned by the non-race TestGolden gate in check.sh, and
+					// the multidev code paths keep race coverage through
+					// TestMultiDev* and the internal/multidev package tests.
+					if raceEnabled && id == "multidev" {
+						t.Skip("multidev golden is too slow under the race detector; gated non-race in check.sh")
+					}
 					e, err := ByID(id)
 					if err != nil {
 						t.Fatal(err)

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gpumodel"
+	"repro/internal/reorder"
+)
+
+// TestMultiDevFlatIdentity is the acceptance differential for the
+// multi-device model: over the experiment corpus, the K=1 multi-device
+// simulation must produce Stats bit-identical to the flat-L2 SimLRU path
+// with zero remote classification. SpMV runs on every corpus entry; the
+// other owned kernels are pinned on the test subset.
+func TestMultiDevFlatIdentity(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Workers = 1
+	if testing.Short() {
+		cfg.Matrices = subset
+	}
+	r := NewRunner(cfg)
+	techs := []reorder.Technique{reorder.Random{Seed: 0xC0FFEE}, reorder.Rabbit{}}
+	check := func(t *testing.T, name string, tech reorder.Technique, k gpumodel.Kernel) {
+		md, err := r.Matrix(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := r.SimLRU(md, tech, k)
+		mds := r.SimMultiDev(md, tech, k, 1, PartRowBlock)
+		if len(mds.Devices) != 1 {
+			t.Fatalf("%s/%s/%s: K=1 produced %d devices", name, tech.Name(), k.String(), len(mds.Devices))
+		}
+		if mds.Devices[0].Stats != flat {
+			t.Fatalf("%s/%s/%s: K=1 multidev diverges from flat path\n got %+v\nwant %+v",
+				name, tech.Name(), k.String(), mds.Devices[0].Stats, flat)
+		}
+		if mds.Devices[0].RemoteAccesses != 0 || mds.Devices[0].RemoteMisses != 0 {
+			t.Fatalf("%s/%s/%s: K=1 classified remote traffic: %+v", name, tech.Name(), k.String(), mds.Devices[0])
+		}
+	}
+	for _, e := range r.Entries() {
+		for _, tech := range techs {
+			check(t, e.Name, tech, SpMV)
+		}
+	}
+	kernels := []gpumodel.Kernel{
+		{Kind: gpumodel.SpMVCOO},
+		{Kind: gpumodel.SpMMCSR, K: 4},
+	}
+	for _, name := range subset {
+		md, err := r.Matrix(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range kernels {
+			check(t, name, reorder.Rabbit{}, k)
+		}
+		if spgemmWithinBudget(md) {
+			check(t, name, reorder.Rabbit{}, gpumodel.Kernel{Kind: gpumodel.SpGEMMCSR})
+		}
+	}
+}
+
+// TestMultiDevPartitioners smokes every partitioner through the Runner
+// path at K=4 and checks the basic accounting holds.
+func TestMultiDevPartitioners(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Matrices = subset[:2]
+	cfg.Workers = 1
+	r := NewRunner(cfg)
+	for _, part := range []string{PartRowBlock, PartMetis, PartCommunity} {
+		md, err := r.Matrix(subset[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := r.SimMultiDev(md, reorder.Rabbit{}, SpMV, 4, part)
+		if len(s.Devices) != 4 {
+			t.Fatalf("%s: %d devices", part, len(s.Devices))
+		}
+		flat := r.SimLRU(md, reorder.Rabbit{}, SpMV)
+		if s.Flat().Accesses != flat.Accesses {
+			t.Fatalf("%s: multi-device accesses %d != flat %d", part, s.Flat().Accesses, flat.Accesses)
+		}
+		if s.Imbalance() < 1 {
+			t.Fatalf("%s: imbalance %f < 1", part, s.Imbalance())
+		}
+		if f := s.RemoteFraction(); f < 0 || f > 1 {
+			t.Fatalf("%s: remote fraction %f", part, f)
+		}
+	}
+}
+
+// TestMultiDevCacheKey checks different (K, partitioner) points do not
+// collide in the cache: K=4 and K=16 must generally differ.
+func TestMultiDevCacheKey(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Matrices = subset[:1]
+	cfg.Workers = 1
+	r := NewRunner(cfg)
+	md, err := r.Matrix(subset[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4 := r.SimMultiDev(md, reorder.Rabbit{}, SpMV, 4, PartRowBlock)
+	s16 := r.SimMultiDev(md, reorder.Rabbit{}, SpMV, 16, PartRowBlock)
+	if len(s4.Devices) != 4 || len(s16.Devices) != 16 {
+		t.Fatalf("cache collision across K: %d and %d devices", len(s4.Devices), len(s16.Devices))
+	}
+}

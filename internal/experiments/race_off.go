@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector; see race_on.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this binary was built with the race
+// detector; see race_off.go. TestGolden uses it to skip the heaviest
+// golden sweep, whose ~5x race slowdown would blow the suite's timeout.
+const raceEnabled = true

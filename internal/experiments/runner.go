@@ -30,6 +30,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gpumodel"
 	"repro/internal/kernels"
+	"repro/internal/multidev"
 	"repro/internal/reorder"
 	"repro/internal/sparse"
 	"repro/internal/trace"
@@ -101,6 +102,7 @@ type MatrixData struct {
 	perms   map[string]sparse.Permutation
 	sims    map[string]cachesim.Stats
 	beladys map[string]cachesim.Stats
+	mdsims  map[string]multidev.Stats
 }
 
 // Rabbit returns the cached RABBIT detection result.
@@ -213,6 +215,7 @@ func (r *Runner) Matrix(name string) (*MatrixData, error) {
 			perms:   make(map[string]sparse.Permutation),
 			sims:    make(map[string]cachesim.Stats),
 			beladys: make(map[string]cachesim.Stats),
+			mdsims:  make(map[string]multidev.Stats),
 		}
 		r.countUnit("matrix|" + name)
 		r.mu.Lock()

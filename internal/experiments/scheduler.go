@@ -28,6 +28,9 @@ const (
 	UnitSimLRU
 	// UnitSimBelady simulates the kernel under Belady-optimal replacement.
 	UnitSimBelady
+	// UnitSimMulti simulates the kernel on Devices private caches split by
+	// the Part partitioner (multidev.Simulate).
+	UnitSimMulti
 )
 
 // Unit is one schedulable piece of work: a point in the
@@ -39,6 +42,11 @@ type Unit struct {
 	Matrix string
 	Tech   reorder.Technique // nil for UnitStats
 	Kernel gpumodel.Kernel   // zero value for UnitStats/UnitPerm
+	// Devices is the device count of a UnitSimMulti unit (zero for every
+	// other kind).
+	Devices int
+	// Part names the UnitSimMulti partitioner (empty for every other kind).
+	Part string
 }
 
 // StatsUnits covers matrix generation plus community detection for every
@@ -83,6 +91,23 @@ func BeladyUnits(entries []gen.Entry, techs []reorder.Technique, kernels ...gpum
 		for _, t := range techs {
 			for _, k := range kernels {
 				units = append(units, Unit{Kind: UnitSimBelady, Matrix: e.Name, Tech: t, Kernel: k})
+			}
+		}
+	}
+	return units
+}
+
+// MultiDevUnits crosses the entries with the techniques, device counts,
+// and kernels at multi-device simulation depth, all split by the same
+// partitioner.
+func MultiDevUnits(entries []gen.Entry, techs []reorder.Technique, devices []int, part string, kernels ...gpumodel.Kernel) []Unit {
+	units := make([]Unit, 0, len(entries)*len(techs)*len(devices)*len(kernels))
+	for _, e := range entries {
+		for _, t := range techs {
+			for _, d := range devices {
+				for _, k := range kernels {
+					units = append(units, Unit{Kind: UnitSimMulti, Matrix: e.Name, Tech: t, Kernel: k, Devices: d, Part: part})
+				}
 			}
 		}
 	}
@@ -149,6 +174,8 @@ func (r *Runner) runUnit(u Unit) error {
 		r.SimLRU(md, u.Tech, u.Kernel)
 	case UnitSimBelady:
 		r.SimBelady(md, u.Tech, u.Kernel)
+	case UnitSimMulti:
+		r.SimMultiDev(md, u.Tech, u.Kernel, u.Devices, u.Part)
 	}
 	return nil
 }

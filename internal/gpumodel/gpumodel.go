@@ -20,6 +20,7 @@ import (
 
 // Device describes an evaluation platform.
 type Device struct {
+	// Name labels the platform in reports.
 	Name string
 	// PeakBandwidth is the theoretical DRAM bandwidth in bytes/second
 	// (768 GB/s for the A6000).
@@ -40,6 +41,20 @@ type Device struct {
 	// the spread the paper reports in Figure 2's caption (traffic 3.36× →
 	// run time 6.21× for RANDOM; 1.27× → 1.54× for RABBIT).
 	FineGrainPenalty float64
+	// Devices is the number of compute tiles the device is modeled as: 1
+	// is the paper's flat single-L2 platform; K > 1 splits the L2 into K
+	// private caches (PerDeviceL2) joined by an interconnect, the shape
+	// multi-CU accelerator models (e.g. akkalat's 4/16/64-CU GPUs) take.
+	// internal/multidev consumes this; every flat-path formula in this
+	// package ignores it. Zero means 1.
+	Devices int
+	// RemotePenalty is the interconnect cost multiplier of a remote line:
+	// a miss on a line homed on another device moves across the
+	// inter-device fabric at 1/RemotePenalty of DRAM transfer speed, so
+	// multidev.ProjectTime charges it RemotePenalty× the bytes. 4 models
+	// a mesh hop costing a few times a local DRAM access; 1 models a free
+	// interconnect (traffic-only accounting). Ignored when Devices <= 1.
+	RemotePenalty float64
 }
 
 const gb = 1e9
@@ -56,7 +71,38 @@ func A6000() Device {
 		L2:                 cachesim.Config{CapacityBytes: 6 << 20, LineBytes: 128, Ways: 16},
 		MemoryBytes:        48 << 30,
 		FineGrainPenalty:   1.0,
+		Devices:            1,
+		RemotePenalty:      4.0,
 	}
+}
+
+// WithDevices returns a copy of the device remodeled as k compute tiles:
+// Devices is set to k while every aggregate resource (total L2 capacity,
+// bandwidths, compute, memory) is unchanged, so K-device and flat runs
+// compare at constant silicon. Per-tile geometry comes from PerDeviceL2.
+// k must be positive.
+func (d Device) WithDevices(k int) Device {
+	if k <= 0 {
+		panic(fmt.Sprintf("gpumodel: WithDevices(%d)", k))
+	}
+	d.Devices = k
+	return d
+}
+
+// NumDevices returns the modeled tile count, treating the zero value as
+// the flat single-device platform.
+func (d Device) NumDevices() int {
+	if d.Devices <= 0 {
+		return 1
+	}
+	return d.Devices
+}
+
+// PerDeviceL2 returns the private L2 geometry of one tile: the total L2
+// capacity split evenly across Devices (cachesim.Config.Split). For
+// Devices <= 1 it is the flat L2 unchanged.
+func (d Device) PerDeviceL2() cachesim.Config {
+	return d.L2.Split(d.NumDevices())
 }
 
 // SimDevice returns the A6000 scaled 24× down in cache capacity (256 KB
@@ -134,8 +180,11 @@ type SpGEMMWork struct {
 // Kernel is a kernel kind plus its dense width (K is meaningful only for
 // SpMMCSR) and, for the SpGEMM kinds, the symbolic work terms.
 type Kernel struct {
+	// Kind selects the memory-access pattern the traffic model and trace
+	// generators reproduce.
 	Kind Kind
-	K    int64
+	// K is the dense right-hand-side width of SpMMCSR; ignored otherwise.
+	K int64
 	// Work parameterizes the SpGEMM kinds; zero (and ignored) for all
 	// others. String() deliberately excludes it so simulation-cache keys
 	// built from the kernel name stay stable whether or not a caller
@@ -262,6 +311,8 @@ func HostDevice(name string, achievableBW float64, l2 cachesim.Config) Device {
 		L2:               l2,
 		MemoryBytes:      1 << 34,
 		FineGrainPenalty: 1.0,
+		Devices:          1,
+		RemotePenalty:    4.0,
 	}
 }
 

@@ -1,0 +1,44 @@
+package multidev
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cachesim"
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// BenchmarkMultiDev measures the per-access cost of the K-device
+// simulation against the flat single-L2 path over the same SpMV trace,
+// so the bench harness can track how much the ownership classification
+// and per-device dispatch cost on top of the raw cache simulator.
+func BenchmarkMultiDev(b *testing.B) {
+	m := gen.PlantedPartition{Nodes: 16384, Communities: 64, AvgDegree: 16, Mu: 0.2}.Generate(1)
+	flat := cachesim.Config{CapacityBytes: 512 << 10, LineBytes: 128, Ways: 16}
+	var accesses int64
+	trace.SpMVCSR(m, flat.LineBytes)(func(int64) { accesses++ })
+	perAccess := func(b *testing.B) {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*accesses), "ns/access")
+	}
+	b.Run("flat", func(b *testing.B) {
+		tr := trace.SpMVCSR(m, flat.LineBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cachesim.SimulateLRU(flat, tr)
+		}
+		perAccess(b)
+	})
+	for _, k := range []int{4, 16} {
+		b.Run(fmt.Sprintf("devices-%d", k), func(b *testing.B) {
+			cfg := Config{Devices: k, L2: flat.Split(k), Impl: cachesim.ImplFast}
+			ot := trace.SpMVCSROwned(m, partition.RowBlocks(m.NumRows, int32(k)), flat.LineBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Simulate(cfg, ot)
+			}
+			perAccess(b)
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/community"
+	"repro/internal/sparse"
+)
+
+// FuzzPartition hammers the partitioner invariants on arbitrary small
+// graphs: every vertex gets a label in [0, parts), Order turns any label
+// vector into a valid bijection, CutEdges is invariant under a bijective
+// relabeling of the parts, and the split helpers (RowBlocks,
+// FromCommunities) obey the same label-range contract.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{}, uint8(2))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(4))
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x33, 0x21, 0x40, 0x41}, uint8(7))
+	f.Fuzz(func(t *testing.T, data []byte, rawParts uint8) {
+		n := int32(len(data)%24) + 1
+		parts := int32(rawParts%8) + 1
+		coo := sparse.NewCOO(n, n, len(data))
+		for i := 0; i+1 < len(data); i += 2 {
+			coo.AddSym(int32(data[i])%n, int32(data[i+1])%n, 1)
+		}
+		m := coo.ToCSR()
+		part := Partition(m, Options{Parts: parts, CoarsestSize: 8})
+		if len(part) != int(n) {
+			t.Fatalf("%d labels for %d vertices", len(part), n)
+		}
+		for v, p := range part {
+			if p < 0 || p >= parts {
+				t.Fatalf("vertex %d labeled %d outside [0,%d)", v, p, parts)
+			}
+		}
+		perm := Order(part, parts)
+		if err := check.ValidPermutation(perm); err != nil {
+			t.Fatalf("Order produced invalid permutation: %v", err)
+		}
+		// CutEdges counts labels only by equality, so any bijective
+		// relabeling of the parts must preserve it.
+		relabeled := make([]int32, len(part))
+		for v, p := range part {
+			relabeled[v] = parts - 1 - p
+		}
+		if a, b := CutEdges(m, part), CutEdges(m, relabeled); a != b {
+			t.Fatalf("CutEdges not relabeling-invariant: %d vs %d", a, b)
+		}
+		for v, p := range RowBlocks(n, parts) {
+			if p < 0 || p >= parts {
+				t.Fatalf("RowBlocks labeled row %d as %d outside [0,%d)", v, p, parts)
+			}
+		}
+		cp := FromCommunities(community.FromLabels(part), parts)
+		for v, p := range cp {
+			if p < 0 || p >= parts {
+				t.Fatalf("FromCommunities labeled vertex %d as %d outside [0,%d)", v, p, parts)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/community"
+)
+
+// RowBlocks returns the contiguous equal split of n rows into parts
+// blocks: one label per row, labels in [0, parts), block sizes differing
+// by at most one (leading blocks take the remainder). This is the
+// schedule a work-stealing-free multi-device runtime would use on an
+// already-reordered matrix — device d owns a contiguous stripe of rows —
+// and the baseline the smarter partitioners are compared against.
+// parts must be positive.
+func RowBlocks(n, parts int32) []int32 {
+	if parts <= 0 {
+		panic(fmt.Sprintf("partition: RowBlocks with %d parts", parts))
+	}
+	out := make([]int32, n)
+	if n == 0 {
+		return out
+	}
+	base, extra := n/parts, n%parts
+	row := int32(0)
+	for p := int32(0); p < parts; p++ {
+		size := base
+		if p < extra {
+			size++
+		}
+		for i := int32(0); i < size; i++ {
+			out[row] = p
+			row++
+		}
+	}
+	return out
+}
+
+// FromCommunities assigns whole communities to parts so a device split can
+// follow RABBIT clusters instead of cutting through them: communities are
+// packed by greedy longest-processing-time bin packing — descending size,
+// ties by lower community ID, each placed on the currently lightest part,
+// ties by lower part ID — which is deterministic and keeps the heaviest
+// parts within 4/3 of optimal. Returns one part label per vertex in
+// [0, parts). Communities are never split, so a single community larger
+// than n/parts yields a proportionally imbalanced split — that imbalance
+// is part of what the multi-device experiments measure. parts must be
+// positive.
+func FromCommunities(comm community.Assignment, parts int32) []int32 {
+	if parts <= 0 {
+		panic(fmt.Sprintf("partition: FromCommunities with %d parts", parts))
+	}
+	sizes := comm.Sizes()
+	order := make([]int32, comm.Count)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := sizes[order[a]], sizes[order[b]]
+		if sa != sb {
+			return sa > sb
+		}
+		return order[a] < order[b]
+	})
+	load := make([]int64, parts)
+	partOf := make([]int32, comm.Count)
+	for _, c := range order {
+		best := int32(0)
+		for p := int32(1); p < parts; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		partOf[c] = best
+		load[best] += int64(sizes[c])
+	}
+	out := make([]int32, len(comm.Of))
+	for v, c := range comm.Of {
+		out[v] = partOf[c]
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/community"
+	"repro/internal/gen"
+)
+
+func TestRowBlocksShape(t *testing.T) {
+	for _, tc := range []struct{ n, parts int32 }{
+		{10, 4}, {16, 4}, {7, 7}, {3, 8}, {0, 4}, {100, 1},
+	} {
+		labels := RowBlocks(tc.n, tc.parts)
+		if len(labels) != int(tc.n) {
+			t.Fatalf("RowBlocks(%d,%d): %d labels", tc.n, tc.parts, len(labels))
+		}
+		counts := make([]int32, tc.parts)
+		prev := int32(0)
+		for r, p := range labels {
+			if p < 0 || p >= tc.parts {
+				t.Fatalf("RowBlocks(%d,%d): row %d labeled %d", tc.n, tc.parts, r, p)
+			}
+			if p < prev {
+				t.Fatalf("RowBlocks(%d,%d): labels not non-decreasing at row %d", tc.n, tc.parts, r)
+			}
+			prev = p
+			counts[p]++
+		}
+		var lo, hi int32 = 1 << 30, 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if tc.n >= tc.parts && hi-lo > 1 {
+			t.Fatalf("RowBlocks(%d,%d): block sizes %v differ by more than one", tc.n, tc.parts, counts)
+		}
+	}
+}
+
+func TestRowBlocksPanicsOnZeroParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for parts=0")
+		}
+	}()
+	RowBlocks(10, 0)
+}
+
+func TestFromCommunitiesKeepsCommunitiesWhole(t *testing.T) {
+	// 6 communities of very different sizes over 20 vertices.
+	labels := []int32{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 3, 3, 4, 5, 5}
+	comm := community.FromLabels(labels)
+	part := FromCommunities(comm, 3)
+	if len(part) != len(labels) {
+		t.Fatalf("%d labels for %d vertices", len(part), len(labels))
+	}
+	byComm := map[int32]int32{}
+	for v, p := range part {
+		if p < 0 || p >= 3 {
+			t.Fatalf("vertex %d assigned part %d outside [0,3)", v, p)
+		}
+		c := comm.Of[v]
+		if prev, ok := byComm[c]; ok && prev != p {
+			t.Fatalf("community %d split across parts %d and %d", c, prev, p)
+		}
+		byComm[c] = p
+	}
+	// LPT with 6 communities over 3 parts must populate every part.
+	used := map[int32]bool{}
+	for _, p := range part {
+		used[p] = true
+	}
+	if len(used) != 3 {
+		t.Fatalf("only %d of 3 parts used", len(used))
+	}
+	// The size-8 giant community must sit alone on its part: the other
+	// two parts already balance better without it.
+	giant := byComm[0]
+	for c, p := range byComm {
+		if c != 0 && p == giant {
+			t.Fatalf("community %d packed with the giant community on part %d", c, p)
+		}
+	}
+}
+
+func TestFromCommunitiesDeterministic(t *testing.T) {
+	m := gen.PlantedPartition{Nodes: 500, Communities: 12, AvgDegree: 8, Mu: 0.2}.Generate(7)
+	comm := community.Louvain(m, community.LouvainOptions{})
+	a := FromCommunities(comm, 4)
+	b := FromCommunities(comm, 4)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("nondeterministic at vertex %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestFromCommunitiesBalance(t *testing.T) {
+	// 16 equal communities over 4 parts: LPT packs them 4-4-4-4.
+	m := gen.PlantedPartition{Nodes: 1600, Communities: 16, AvgDegree: 8, Mu: 0.1}.Generate(3)
+	comm := community.FromLabels(RowBlocks(m.NumRows, 16))
+	part := FromCommunities(comm, 4)
+	counts := make([]int32, 4)
+	for _, p := range part {
+		counts[p]++
+	}
+	for p, c := range counts {
+		if c != 400 {
+			t.Fatalf("part %d has %d vertices, want 400 (%v)", p, c, counts)
+		}
+	}
+}

@@ -136,3 +136,19 @@ func F(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 // Pct formats a fraction as a percentage with 2 decimals.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Bytes formats a byte count with a binary-unit suffix ("1.5KB",
+// "12.3MB"), keeping golden tables readable across corpus scales.
+func Bytes(v int64) string {
+	f := float64(v)
+	for _, unit := range []string{"B", "KB", "MB", "GB"} {
+		if f < 1024 || unit == "GB" {
+			if unit == "B" {
+				return fmt.Sprintf("%d%s", v, unit)
+			}
+			return fmt.Sprintf("%.1f%s", f, unit)
+		}
+		f /= 1024
+	}
+	return fmt.Sprintf("%d", v)
+}

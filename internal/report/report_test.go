@@ -76,6 +76,19 @@ func TestFormatters(t *testing.T) {
 	if Pct(0.1637) != "16.37%" {
 		t.Fatalf("Pct = %q", Pct(0.1637))
 	}
+	for v, want := range map[int64]string{
+		512:           "512B",
+		1536:          "1.5KB",
+		3 << 20:       "3.0MB",
+		5 << 30:       "5.0GB",
+		1 << 42:       "4096.0GB",
+		0:             "0B",
+		2*1024 + 1024: "3.0KB",
+	} {
+		if got := Bytes(v); got != want {
+			t.Fatalf("Bytes(%d) = %q, want %q", v, got, want)
+		}
+	}
 }
 
 func TestShortRowsPadded(t *testing.T) {

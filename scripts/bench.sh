@@ -198,6 +198,41 @@ EOF
 
 echo "==> BENCH_reorder.json ($(echo "$reorder_rows" | wc -l | tr -d ' ') technique/worker rows)"
 
+echo "==> go test -bench BenchmarkMultiDev ./internal/multidev"
+mdout=$(go test -run='^$' -bench='^BenchmarkMultiDev$' \
+	-timeout 30m ./internal/multidev)
+echo "$mdout"
+
+# Rows: BenchmarkMultiDev/<sub>[-<procs>] iters N ns/op N ns/access; pick
+# ns/access by its unit token like the SpGEMM parser does.
+md_metric() {
+	echo "$mdout" | awk -v sub_="$1" \
+		'$1 ~ "^BenchmarkMultiDev/" sub_ "(-[0-9]+)?$" { for (i = 2; i <= NF; i++) if ($i == "ns/access") print $(i-1) }'
+}
+md_flat=$(md_metric flat)
+md_k4=$(md_metric "devices-4")
+md_k16=$(md_metric "devices-16")
+if [ -z "$md_flat" ] || [ -z "$md_k4" ] || [ -z "$md_k16" ]; then
+	echo "bench.sh: could not parse multidev benchmark output" >&2
+	exit 1
+fi
+md_k4_ratio=$(awk "BEGIN{printf \"%.2f\", $md_k4/$md_flat}")
+md_k16_ratio=$(awk "BEGIN{printf \"%.2f\", $md_k16/$md_flat}")
+
+cat > BENCH_multidev.json <<EOF
+{
+  "benchmark": "multi-device simulation cost vs flat L2 (SpMV, planted partition, 16384 nodes, avg degree 16, 512KB L2)",
+  "flat_ns_per_access": $md_flat,
+  "devices_4_ns_per_access": $md_k4,
+  "devices_4_vs_flat": $md_k4_ratio,
+  "devices_16_ns_per_access": $md_k16,
+  "devices_16_vs_flat": $md_k16_ratio,
+  "host_logical_cpus": $cpus
+}
+EOF
+
+echo "==> BENCH_multidev.json (K=4 ${md_k4_ratio}x, K=16 ${md_k16_ratio}x flat per-access cost)"
+
 echo "==> cmd/loadgen serving benchmark (async job API, 1-peer vs 3-peer ring)"
 go run ./cmd/loadgen -peers 1,3 -requests 96 -clients 4 -matrices 8 \
 	-nodes 256 -check -out BENCH_serve.json

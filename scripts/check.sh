@@ -16,11 +16,14 @@ go run ./cmd/lint ./...
 echo "==> hotalloc escape gate (//repro:noalloc kernels and simulator fast paths)"
 go run ./cmd/lint -run hotalloc ./internal/kernels ./internal/cachesim
 
-# The experiment smoke sweeps every registered technique through Table IV;
-# under -race on a small host that legitimately exceeds go test's default
-# 600s per-package timeout, so give the hang detector explicit headroom.
+# The experiment smoke sweeps every registered technique through Table IV
+# and the multi-device identity matrix; under -race on a small host that
+# legitimately exceeds go test's default 600s per-package timeout, so give
+# the hang detector explicit headroom. (The heaviest golden, the multidev
+# registry sweep, skips itself under -race — see golden_test.go — and is
+# gated by the non-race TestGolden step below.)
 echo "==> go test -race ./..."
-go test -race -timeout 1800s ./...
+go test -race -timeout 2700s ./...
 
 echo "==> go test -tags check ./internal/..."
 go test -tags check -timeout 1800s ./internal/...
@@ -37,11 +40,20 @@ go test -run 'TestGolden' -count=1 ./internal/experiments
 echo "==> simulator differential: fast vs reference, full corpus x all kernels"
 go test -run 'TestDifferential|TestRunnerImplReference' -count=1 ./internal/experiments
 
+echo "==> multi-device differential: K=1 bit-identical to the flat L2 path"
+go test -run 'TestMultiDevFlatIdentity|TestOwnedMatchesUnowned' -count=1 ./internal/experiments ./internal/trace
+
 echo "==> SpGEMM differential gate: all execution modes vs the dense int64 oracle"
 go test -run 'TestSpGEMMDifferentialOracle|TestSpGEMMRelabelingInvariance|TestSpGEMMStrategiesBitIdentical' -count=1 ./internal/kernels
 
 echo "==> parallel suite smoke: cmd/experiments -workers=4"
 go run ./cmd/experiments -corpus small -matrices soc-tight-2,er-deg16 -workers 4 -run fig2,obs,table3 >/dev/null
+
+echo "==> cachesim multi-device CLI smoke (-devices 4, community split)"
+tmpmtx=$(mktemp -d)
+go run ./cmd/mtxgen -out "$tmpmtx" -matrices er-deg16 >/dev/null
+go run ./cmd/cachesim -in "$tmpmtx/er-deg16.mtx" -devices 4 -partition community -techniques RANDOM,RABBIT >/dev/null
+rm -rf "$tmpmtx"
 
 echo "==> lint: internal/serve + internal/sparse (contract surface must be suppression-free)"
 go run ./cmd/lint ./internal/serve ./internal/sparse
@@ -80,6 +92,9 @@ go test -run=NONE -fuzz=FuzzSpGEMMValidCSR -fuzztime=5s ./internal/kernels
 
 echo "==> fuzz smoke: FuzzLRUFastVsReference (internal/cachesim differential)"
 go test -run=NONE -fuzz=FuzzLRUFastVsReference -fuzztime=5s ./internal/cachesim
+
+echo "==> fuzz smoke: FuzzPartition (internal/partition label + permutation invariants)"
+go test -run=NONE -fuzz=FuzzPartition -fuzztime=5s ./internal/partition
 
 echo "==> fuzz smoke: FuzzFeatures (internal/advisor)"
 go test -run=NONE -fuzz=FuzzFeatures -fuzztime=5s ./internal/advisor

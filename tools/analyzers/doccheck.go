@@ -8,7 +8,8 @@ import (
 // packages whose godoc the repository treats as API contract: the cache
 // simulator, the trace generators, the host kernels, the HTTP service,
 // the sparse formats and their wire encodings, the technique advisor,
-// the experiment harness, and the analyzer framework itself. Those
+// the experiment harness, the graph partitioners, the GPU cost model,
+// the multi-device simulator, and the analyzer framework itself. Those
 // packages promise units (bytes, line IDs, accesses), wire layouts, and
 // determinism guarantees in their doc comments, and the
 // differential-testing story depends on readers being able to trust
@@ -20,7 +21,8 @@ var DocCheck = &Analyzer{
 	Packages: []string{
 		"internal/cachesim", "internal/trace", "internal/serve",
 		"internal/sparse", "internal/advisor", "internal/experiments",
-		"internal/kernels", "tools/analyzers",
+		"internal/kernels", "internal/partition", "internal/gpumodel",
+		"internal/multidev", "tools/analyzers",
 	},
 	Run: runDocCheck,
 }
